@@ -1,0 +1,122 @@
+// Ablation study over OptAbcast's design knobs (DESIGN.md architecture
+// decisions). Each knob trades the identical-proposal fast-path probability
+// against ordering latency or robustness:
+//
+//   batch_delay        - stage cadence: larger batches amortize consensus but
+//                        add queueing delay to the opt->TO gap.
+//   alignment_window   - holds fresh arrivals out of a stage so all sites
+//                        propose the same set; pure latency vs. fast-path %.
+//   max_outstanding    - stage pipelining: >1 decouples stage cadence from
+//                        decision latency but lets proposal sets diverge
+//                        after any mismatch (the measured fast-path collapse
+//                        is why the default is 1).
+//   fast_wait          - how long a round-0 coordinator waits for the fast
+//                        path before forcing a coordinated round.
+//
+// Counters per point: fast_path_pct, opt->TO gap (ms), commit latency (ms),
+// abort %.
+#include <benchmark/benchmark.h>
+
+#include "abcast/opt_abcast.h"
+#include "bench_common.h"
+
+namespace otpdb::bench {
+namespace {
+
+struct AblationResult {
+  double fast_pct = 0;
+  double gap_ms = 0;
+  double latency_ms = 0;
+  double abort_pct = 0;
+};
+
+AblationResult run_with(OptAbcastConfig opt) {
+  ClusterConfig config;
+  config.n_sites = 4;
+  config.n_classes = 8;
+  config.seed = 31415;
+  config.net = lan();
+  config.opt = opt;
+  Cluster cluster(config);
+  WorkloadConfig wl;
+  wl.updates_per_second_per_site = 100;
+  wl.mean_exec_time = 3 * kMillisecond;
+  wl.duration = 3 * kSecond;
+  WorkloadDriver driver(cluster, wl, 2718);
+  driver.start();
+  cluster.run_for(wl.duration);
+  cluster.quiesce(120 * kSecond);
+
+  AblationResult r;
+  const ClusterTotals t = totals(cluster);
+  const auto& cs = dynamic_cast<OptAbcast&>(cluster.abcast(0)).consensus_stats();
+  r.fast_pct = cs.instances_decided ? 100.0 * static_cast<double>(cs.fast_decides) /
+                                          static_cast<double>(cs.instances_decided)
+                                    : 100.0;
+  r.gap_ms = to_ms(t.opt_to_gap_ns.mean());
+  r.latency_ms = to_ms(t.commit_latency_ns.mean());
+  r.abort_pct = t.committed
+                    ? 100.0 * static_cast<double>(t.aborts) / static_cast<double>(t.committed)
+                    : 0.0;
+  return r;
+}
+
+void report(benchmark::State& state, const AblationResult& r) {
+  state.counters["fast_path_pct"] = r.fast_pct;
+  state.counters["opt_to_gap_ms"] = r.gap_ms;
+  state.counters["latency_ms"] = r.latency_ms;
+  state.counters["abort_pct"] = r.abort_pct;
+}
+
+void BM_Ablation_BatchDelay(benchmark::State& state) {
+  AblationResult r;
+  for (auto _ : state) {
+    OptAbcastConfig opt;
+    opt.batch_delay = state.range(0) * 100 * kMicrosecond;
+    r = run_with(opt);
+  }
+  state.counters["batch_delay_us"] = static_cast<double>(state.range(0)) * 100;
+  report(state, r);
+}
+BENCHMARK(BM_Ablation_BatchDelay)->Arg(2)->Arg(5)->Arg(10)->Arg(20)->Arg(50)->Iterations(1);
+
+void BM_Ablation_AlignmentWindow(benchmark::State& state) {
+  AblationResult r;
+  for (auto _ : state) {
+    OptAbcastConfig opt;
+    opt.alignment_window = state.range(0) * 100 * kMicrosecond;
+    r = run_with(opt);
+  }
+  state.counters["alignment_us"] = static_cast<double>(state.range(0)) * 100;
+  report(state, r);
+}
+BENCHMARK(BM_Ablation_AlignmentWindow)->Arg(0)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Iterations(1);
+
+void BM_Ablation_Pipelining(benchmark::State& state) {
+  AblationResult r;
+  for (auto _ : state) {
+    OptAbcastConfig opt;
+    opt.max_outstanding_stages = static_cast<std::size_t>(state.range(0));
+    r = run_with(opt);
+  }
+  state.counters["outstanding_stages"] = static_cast<double>(state.range(0));
+  report(state, r);
+}
+BENCHMARK(BM_Ablation_Pipelining)->Arg(1)->Arg(2)->Arg(4)->Iterations(1);
+
+void BM_Ablation_FastWait(benchmark::State& state) {
+  AblationResult r;
+  for (auto _ : state) {
+    OptAbcastConfig opt;
+    opt.consensus.fast_wait = state.range(0) * kMillisecond;
+    r = run_with(opt);
+  }
+  state.counters["fast_wait_ms"] = static_cast<double>(state.range(0));
+  report(state, r);
+}
+BENCHMARK(BM_Ablation_FastWait)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Iterations(1);
+
+}  // namespace
+}  // namespace otpdb::bench
+
+BENCHMARK_MAIN();

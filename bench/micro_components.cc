@@ -1,0 +1,190 @@
+// Component micro-benchmarks (wall-clock): the hot data structures and code
+// paths underlying the simulation-level experiments - event queue, RNG,
+// versioned store, class queue, network message path, consensus instance,
+// end-to-end single-transaction processing.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "abcast/consensus.h"
+#include "abcast/opt_abcast.h"
+#include "core/class_queue.h"
+#include "core/cluster.h"
+#include "db/versioned_store.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "workload/workload.h"
+
+namespace otpdb::bench {
+namespace {
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_u64());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngZipf(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.zipf(64, 0.99));
+}
+BENCHMARK(BM_RngZipf);
+
+void BM_SimulatorScheduleAndRun(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    for (int i = 0; i < 1000; ++i) sim.schedule_at(i, [] {});
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorScheduleAndRun);
+
+void BM_StoreWriteCommit(benchmark::State& state) {
+  VersionedStore store;
+  TOIndex index = 1;
+  for (auto _ : state) {
+    const MsgId txn{0, index};
+    store.write(txn, index % 128, Value{static_cast<std::int64_t>(index)});
+    store.commit(txn, index);
+    ++index;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StoreWriteCommit);
+
+void BM_StoreSnapshotRead(benchmark::State& state) {
+  VersionedStore store;
+  for (TOIndex i = 1; i <= 1024; ++i) {
+    const MsgId txn{0, i};
+    store.write(txn, i % 16, Value{static_cast<std::int64_t>(i)});
+    store.commit(txn, i);
+  }
+  TOIndex snap = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.read_snapshot(snap % 16, snap % 1024));
+    ++snap;
+  }
+}
+BENCHMARK(BM_StoreSnapshotRead);
+
+void BM_ClassQueueReorder(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  std::vector<std::unique_ptr<TxnRecord>> txns;
+  for (std::size_t i = 0; i < depth; ++i) {
+    txns.push_back(std::make_unique<TxnRecord>());
+    txns.back()->id = MsgId{0, i};
+    txns.back()->deliv = DeliveryState::pending;
+  }
+  for (auto _ : state) {
+    ClassQueue q;
+    for (auto& t : txns) {
+      t->deliv = DeliveryState::pending;
+      q.append(t.get());
+    }
+    // Reverse TO order: every transaction reorders to the committable prefix.
+    for (auto it = txns.rbegin(); it != txns.rend(); ++it) {
+      (*it)->deliv = DeliveryState::committable;
+      q.reorder_before_first_pending(it->get());
+    }
+    benchmark::DoNotOptimize(q.head());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(depth));
+}
+BENCHMARK(BM_ClassQueueReorder)->Arg(8)->Arg(64);
+
+void BM_NetworkMulticastPath(benchmark::State& state) {
+  Simulator sim;
+  NetConfig cfg;
+  cfg.hiccup_prob = 0;
+  Network net(sim, 4, cfg, Rng(1));
+  struct Blank final : Payload {};
+  std::uint64_t delivered = 0;
+  for (SiteId s = 0; s < 4; ++s) {
+    net.subscribe(s, 0, [&delivered](const Message&) { ++delivered; });
+  }
+  auto payload = std::make_shared<Blank>();
+  for (auto _ : state) {
+    net.multicast(0, 0, payload);
+    sim.run();
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4);
+}
+BENCHMARK(BM_NetworkMulticastPath);
+
+void BM_ConsensusInstanceFastPath(benchmark::State& state) {
+  // Cost of a full 4-site consensus instance deciding via the fast path,
+  // including all simulated message deliveries.
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulator sim;
+    NetConfig cfg;
+    cfg.hiccup_prob = 0;
+    Network net(sim, 4, cfg, Rng(1));
+    std::vector<std::unique_ptr<FailureDetector>> fds;
+    std::vector<std::unique_ptr<ConsensusHost>> hosts;
+    for (SiteId s = 0; s < 4; ++s) {
+      fds.push_back(std::make_unique<FailureDetector>(sim, net, s, FailureDetectorConfig{}));
+    }
+    for (SiteId s = 0; s < 4; ++s) {
+      hosts.push_back(std::make_unique<ConsensusHost>(sim, net, *fds[s], s, ConsensusConfig{}));
+    }
+    state.ResumeTiming();
+    for (SiteId s = 0; s < 4; ++s) hosts[s]->propose(0, {MsgId{0, 1}, MsgId{1, 1}});
+    sim.run_until(kSecond);
+    benchmark::DoNotOptimize(hosts[0]->decided(0));
+  }
+}
+BENCHMARK(BM_ConsensusInstanceFastPath);
+
+void BM_EndToEndTransaction(benchmark::State& state) {
+  // Wall-clock cost of simulating one complete replicated transaction
+  // (broadcast, optimistic execution at 4 sites, ordering, commit).
+  for (auto _ : state) {
+    state.PauseTiming();
+    ClusterConfig config;
+    config.n_sites = 4;
+    config.n_classes = 1;
+    config.seed = 1;
+    config.net.hiccup_prob = 0;
+    Cluster cluster(config);
+    const ProcId rmw = register_rmw_procedure(cluster.procedures(), cluster.catalog());
+    state.ResumeTiming();
+    TxnArgs args;
+    args.ints = {1, 0};
+    cluster.replica(0).submit_update(rmw, 0, args, kMillisecond);
+    cluster.quiesce(10 * kSecond);
+    benchmark::DoNotOptimize(cluster.total_committed());
+  }
+}
+BENCHMARK(BM_EndToEndTransaction);
+
+void BM_SimulatedClusterSecond(benchmark::State& state) {
+  // Wall-clock cost of one simulated second of a loaded 4-site OTP cluster -
+  // the unit of account for every experiment above.
+  for (auto _ : state) {
+    ClusterConfig config;
+    config.n_sites = 4;
+    config.n_classes = 8;
+    config.seed = 3;
+    Cluster cluster(config);
+    WorkloadConfig wl;
+    wl.updates_per_second_per_site = 100;
+    wl.duration = kSecond;
+    WorkloadDriver driver(cluster, wl, 5);
+    driver.start();
+    cluster.run_for(wl.duration);
+    cluster.quiesce(60 * kSecond);
+    benchmark::DoNotOptimize(cluster.total_committed());
+  }
+}
+BENCHMARK(BM_SimulatedClusterSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace otpdb::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Claim C2 (paper Section 3.2): a mismatch between tentative and definitive
+// order only costs work when the mis-ordered transactions *conflict*. With low
+// to medium conflict rates, tentative and definitive order "might differ
+// considerably without leading to high abort rates".
+//
+// Sweep: conflict concentration (number of conflict classes; fewer classes =
+// more conflicts) x network turbulence (hiccup probability; more turbulence =
+// more tentative-order mismatches).
+//
+// Counters: abort rate (% of commits preceded by an undo), reorder rate
+// (CC10 moves - mismatches among conflicting txns), fast-path % (network-level
+// mismatch indicator), goodput (txn/s).
+#include <benchmark/benchmark.h>
+
+#include "abcast/opt_abcast.h"
+#include "bench_common.h"
+
+namespace otpdb::bench {
+namespace {
+
+void BM_MismatchAborts(benchmark::State& state) {
+  const auto n_classes = static_cast<std::size_t>(state.range(0));
+  const double hiccup_prob = static_cast<double>(state.range(1)) / 100.0;
+  ClusterTotals t;
+  double fast_pct = 0;
+  double duration_s = 0;
+  for (auto _ : state) {
+    ClusterConfig config;
+    config.n_sites = 4;
+    config.n_classes = n_classes;
+    config.seed = 777;
+    config.net = lan();
+    config.net.hiccup_prob = hiccup_prob;
+    config.net.hiccup_mean = 600 * kMicrosecond;
+    Cluster cluster(config);
+    WorkloadConfig wl;
+    wl.updates_per_second_per_site = 80;
+    wl.mean_exec_time = 2 * kMillisecond;
+    wl.duration = 3 * kSecond;
+    WorkloadDriver driver(cluster, wl, 31);
+    driver.start();
+    cluster.run_for(wl.duration);
+    cluster.quiesce(120 * kSecond);
+    t = totals(cluster);
+    duration_s = static_cast<double>(cluster.sim().now()) / 1e9;
+    if (auto* opt = dynamic_cast<OptAbcast*>(&cluster.abcast(0))) {
+      const auto& cs = opt->consensus_stats();
+      fast_pct = cs.instances_decided ? 100.0 * static_cast<double>(cs.fast_decides) /
+                                            static_cast<double>(cs.instances_decided)
+                                      : 100.0;
+    }
+  }
+  state.counters["classes"] = static_cast<double>(n_classes);
+  state.counters["hiccup_pct"] = 100.0 * hiccup_prob;
+  state.counters["abort_pct"] =
+      t.committed ? 100.0 * static_cast<double>(t.aborts) / static_cast<double>(t.committed)
+                  : 0.0;
+  state.counters["reorder_pct"] =
+      t.committed ? 100.0 * static_cast<double>(t.reorders) / static_cast<double>(t.committed)
+                  : 0.0;
+  state.counters["fast_path_pct"] = fast_pct;
+  state.counters["txn_per_s"] =
+      duration_s > 0 ? static_cast<double>(t.committed) / 4.0 / duration_s : 0;
+}
+BENCHMARK(BM_MismatchAborts)
+    ->ArgsProduct({{1, 2, 4, 8, 16}, {0, 6, 20, 40}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace otpdb::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Claim C4 (paper Section 5): read-only queries execute locally on
+// multi-version snapshots - they span several conflict classes dynamically,
+// never enter class queues, never block update processing, and still observe
+// 1-copy-serializable states.
+//
+// Sweep: query share of the submitted load x classes spanned per query.
+// Counters: query latency (ms), retry rate (% of queries that had to wait for
+// an in-flight commit), update commit latency (ms; must not degrade with
+// query load), throughputs.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace otpdb::bench {
+namespace {
+
+void BM_QuerySnapshots(benchmark::State& state) {
+  const double query_fraction = static_cast<double>(state.range(0)) / 100.0;
+  const auto query_span = static_cast<std::size_t>(state.range(1));
+  ClusterTotals t;
+  std::uint64_t queries_done = 0;
+  double duration_s = 0;
+  for (auto _ : state) {
+    ClusterConfig config;
+    config.n_sites = 4;
+    config.n_classes = 8;
+    config.objects_per_class = 32;
+    config.seed = 888;
+    config.net = lan();
+    Cluster cluster(config);
+    WorkloadConfig wl;
+    wl.updates_per_second_per_site = 120;
+    wl.mean_exec_time = 2 * kMillisecond;
+    wl.query_fraction = query_fraction;
+    wl.query_classes = query_span;
+    wl.query_reads_per_class = 4;
+    wl.mean_query_exec_time = 4 * kMillisecond;
+    wl.duration = 3 * kSecond;
+    WorkloadDriver driver(cluster, wl, 23);
+    driver.start();
+    cluster.run_for(wl.duration);
+    cluster.quiesce(120 * kSecond);
+    t = totals(cluster);
+    duration_s = static_cast<double>(cluster.sim().now()) / 1e9;
+    for (SiteId s = 0; s < cluster.site_count(); ++s) {
+      queries_done += cluster.replica(s).metrics().queries_done;
+    }
+  }
+  state.counters["query_pct"] = 100.0 * query_fraction;
+  state.counters["query_span_classes"] = static_cast<double>(query_span);
+  state.counters["query_latency_ms"] = to_ms(t.query_latency_ns.mean());
+  state.counters["query_retry_pct"] =
+      queries_done ? 100.0 * static_cast<double>(t.query_retries) /
+                         static_cast<double>(queries_done)
+                   : 0.0;
+  state.counters["update_latency_ms"] = to_ms(t.commit_latency_ns.mean());
+  state.counters["updates_per_s"] =
+      duration_s > 0 ? static_cast<double>(t.committed) / 4.0 / duration_s : 0;
+  state.counters["queries_per_s"] =
+      duration_s > 0 ? static_cast<double>(queries_done) / duration_s : 0;
+}
+BENCHMARK(BM_QuerySnapshots)
+    ->ArgsProduct({{0, 20, 50, 80}, {1, 2, 4, 8}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace otpdb::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// failover - crash-tolerance of the optimistic atomic broadcast.
+//
+// Five sites process a continuous update stream. Mid-run, two sites (a
+// minority, f = 2 < n/2) crash. The failure detectors at the survivors
+// suspect them, the consensus layer routes coordinator rounds around them,
+// and the surviving replicas keep committing in a consistent total order -
+// at a visibly lower fast-path rate, since the identical-proposal optimism
+// needs all n proposals while the crashed sites stay silent.
+//
+//   $ ./examples/failover
+#include <cstdio>
+
+#include "abcast/opt_abcast.h"
+#include "core/cluster.h"
+#include "util/rng.h"
+
+using namespace otpdb;
+
+int main() {
+  ClusterConfig config;
+  config.n_sites = 5;
+  config.n_classes = 4;
+  config.seed = 404;
+  config.opt.consensus.round_timeout = 15 * kMillisecond;  // brisk failover
+  Cluster cluster(config);
+  const ProcId bump = cluster.procedures().add("bump", [&](TxnContext& ctx) {
+    const ObjectId obj = cluster.catalog().object(ctx.conflict_class(), 0);
+    ctx.write(obj, ctx.read_int(obj) + 1);
+  });
+
+  // Watch suspicions from site 0's failure detector.
+  cluster.failure_detector(0).set_on_suspect([&](SiteId s) {
+    std::printf("  t=%6.1f ms  site 0 suspects site %u\n",
+                static_cast<double>(cluster.sim().now()) / 1e6, s);
+  });
+
+  // 1500 updates over 3 simulated seconds, submitted at whichever sites are
+  // still alive.
+  Rng rng(17);
+  for (int i = 0; i < 1500; ++i) {
+    const SimTime at = rng.uniform_int(0, 3 * kSecond);
+    const SiteId site = static_cast<SiteId>(rng.uniform_int(0, 4));
+    const ClassId klass = static_cast<ClassId>(rng.uniform_int(0, 3));
+    cluster.sim().schedule_at(at, [&cluster, bump, site, klass] {
+      if (!cluster.net().crashed(site)) {
+        cluster.replica(site).submit_update(bump, klass, TxnArgs{{0}, {}}, kMillisecond);
+      }
+    });
+  }
+
+  std::printf("failover example: 5 sites, crashing sites 3 and 4 at t=1000 ms\n");
+  cluster.sim().schedule_at(kSecond, [&cluster] {
+    cluster.net().crash(3);
+    cluster.net().crash(4);
+    std::printf("  t=1000.0 ms  sites 3 and 4 CRASH\n");
+  });
+
+  auto fast_pct = [&cluster] {
+    const auto& cs = dynamic_cast<OptAbcast&>(cluster.abcast(0)).consensus_stats();
+    return cs.instances_decided ? 100.0 * static_cast<double>(cs.fast_decides) /
+                                      static_cast<double>(cs.instances_decided)
+                                : 0.0;
+  };
+
+  cluster.run_for(kSecond);
+  const std::uint64_t committed_before = cluster.replica(0).metrics().committed;
+  const double fast_before = fast_pct();
+  cluster.run_for(2 * kSecond);
+  cluster.run_for(5 * kSecond);  // settle
+
+  std::printf("\n  survivors (sites 0-2):\n");
+  std::uint64_t reference = cluster.replica(0).metrics().committed;
+  for (SiteId s = 0; s < 3; ++s) {
+    const ReplicaMetrics& m = cluster.replica(s).metrics();
+    std::printf("    site %u committed=%llu (aborts=%llu)\n", s,
+                static_cast<unsigned long long>(m.committed),
+                static_cast<unsigned long long>(m.aborts));
+    if (m.committed != reference) std::printf("    !! divergence\n");
+  }
+  std::printf("  committed before crash (site 0): %llu\n",
+              static_cast<unsigned long long>(committed_before));
+  std::printf("  committed after recovery window: %llu (progress despite f=2)\n",
+              static_cast<unsigned long long>(reference));
+  std::printf("  consensus fast path: %.1f%% before crash, %.1f%% overall\n"
+              "  (the fast path needs all 5 proposals; with 2 sites silent every stage\n"
+              "   falls back to coordinator rounds - slower, never inconsistent)\n",
+              fast_before, fast_pct());
+
+  // Cross-check: identical per-object state at the three survivors.
+  bool identical = true;
+  for (ClassId c = 0; c < 4; ++c) {
+    const ObjectId obj = cluster.catalog().object(c, 0);
+    const auto v0 = cluster.store(0).read_latest(obj);
+    for (SiteId s = 1; s < 3; ++s) {
+      if (cluster.store(s).read_latest(obj) != v0) identical = false;
+    }
+  }
+  std::printf("  survivor states identical: %s\n", identical ? "yes" : "NO");
+  return 0;
+}

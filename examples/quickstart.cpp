@@ -1,0 +1,77 @@
+// quickstart - the smallest complete otpdb program.
+//
+// Builds a 3-site replicated database in a deterministic simulation, declares
+// one stored procedure, submits update transactions from different sites,
+// runs a snapshot query, and prints what the OTP engine did.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "core/cluster.h"
+
+using namespace otpdb;
+
+int main() {
+  // 1. Configure a cluster: 3 sites, 4 conflict classes, LAN-like network,
+  //    optimistic atomic broadcast (the paper's protocol), OTP engine.
+  ClusterConfig config;
+  config.n_sites = 3;
+  config.n_classes = 4;
+  config.objects_per_class = 8;
+  config.seed = 7;  // every run with this seed is identical
+  Cluster cluster(config);
+
+  // 2. Declare stored procedures (paper Section 2.2: all data access goes
+  //    through pre-declared procedures; one transaction = one procedure).
+  //    This one adds args.ints[1] to object args.ints[0] of its class.
+  const ProcId add = cluster.procedures().add("add", [&](TxnContext& ctx) {
+    const ObjectId obj = cluster.catalog().object(ctx.conflict_class(),
+                                                  static_cast<std::uint64_t>(ctx.args().ints[0]));
+    ctx.write(obj, ctx.read_int(obj) + ctx.args().ints[1]);
+  });
+
+  // 3. Submit update transactions at different sites. Each is TO-broadcast to
+  //    all replicas, Opt-delivered and *optimistically executed* in arrival
+  //    order, and committed once the definitive order confirms the guess.
+  for (int i = 0; i < 12; ++i) {
+    const SiteId origin = static_cast<SiteId>(i % 3);
+    const ClassId klass = static_cast<ClassId>(i % 4);
+    TxnArgs args;
+    args.ints = {0, 10};  // object #0 of the class += 10
+    cluster.replica(origin).submit_update(add, klass, args, 2 * kMillisecond);
+  }
+
+  // 4. Submit a read-only query at site 2. Queries run locally on a
+  //    multi-version snapshot (paper Section 5) - they never enter class
+  //    queues and never block updates.
+  std::int64_t grand_total = -1;
+  cluster.sim().schedule_at(40 * kMillisecond, [&] {
+    cluster.replica(2).submit_query(
+        [&](QueryContext& ctx) {
+          std::int64_t sum = 0;
+          for (ClassId c = 0; c < 4; ++c) sum += ctx.read_int(cluster.catalog().object(c, 0));
+          grand_total = sum;
+        },
+        kMillisecond, nullptr);
+  });
+
+  // 5. Run the simulation until everything committed everywhere.
+  cluster.run_for(100 * kMillisecond);
+  cluster.quiesce();
+
+  // 6. Inspect: every site committed every transaction, in the same order.
+  std::printf("quickstart: 12 updates across 3 sites\n");
+  for (SiteId s = 0; s < 3; ++s) {
+    const ReplicaMetrics& m = cluster.replica(s).metrics();
+    std::printf(
+        "  site %u: committed=%llu aborts=%llu mean commit latency=%.2f ms\n", s,
+        static_cast<unsigned long long>(m.committed),
+        static_cast<unsigned long long>(m.aborts), m.commit_latency_ns.mean() / 1e6);
+  }
+  std::printf("  query saw grand total = %lld (12 updates x 10 = 120 when it ran late)\n",
+              static_cast<long long>(grand_total));
+  const auto v = cluster.store(0).read_latest(cluster.catalog().object(0, 0));
+  std::printf("  object(class 0, #0) final value at site 0 = %s\n",
+              v ? to_display_string(*v).c_str() : "<none>");
+  return 0;
+}

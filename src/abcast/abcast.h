@@ -1,0 +1,69 @@
+// Atomic Broadcast with Optimistic Delivery - the interface of paper Section 2.1.
+//
+// Three primitives:
+//   TO-broadcast(m): broadcast(payload) below.
+//   Opt-deliver(m):  callbacks.opt_deliver - fired as soon as the message
+//                    arrives from the network; the sequence of these calls is
+//                    the site's *tentative* order (no agreement yet).
+//   TO-deliver(m):   callbacks.to_deliver - fired when the definitive total
+//                    order of m is established; carries only the message id
+//                    plus the definitive index (the body was already handed
+//                    over by Opt-deliver), exactly as the paper prescribes.
+//
+// Implementations must satisfy the paper's five properties: Termination,
+// Global Agreement, Local Agreement, Global Order, and Local Order (a site
+// Opt-delivers m before it TO-delivers m). tests/abcast_properties_test.cc
+// checks all five over randomized runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/message.h"
+#include "util/types.h"
+
+namespace otpdb {
+
+/// Delivery callbacks registered by the application (the transaction manager).
+struct AbcastCallbacks {
+  /// Tentative delivery, in network-arrival order. Carries the full message.
+  std::function<void(const Message&)> opt_deliver;
+  /// Definitive delivery confirmation: message id + its definitive index.
+  /// Indices are contiguous from 1 and identical at all sites.
+  std::function<void(const MsgId&, TOIndex)> to_deliver;
+};
+
+/// Counters exposed by broadcast implementations (for benches and tests).
+struct AbcastStats {
+  std::uint64_t broadcasts = 0;
+  std::uint64_t opt_delivered = 0;
+  std::uint64_t to_delivered = 0;
+  /// Batches definitively ordered via the optimistic fast path (identical
+  /// proposals at all sites - no extra coordination rounds).
+  std::uint64_t fast_batches = 0;
+  /// Batches that needed coordinator-driven consensus rounds.
+  std::uint64_t slow_batches = 0;
+  /// Sum over messages of (TO-deliver time - Opt-deliver time), nanoseconds;
+  /// divide by to_delivered for the mean optimistic window.
+  std::int64_t opt_to_gap_total_ns = 0;
+};
+
+/// Per-site handle of an atomic broadcast protocol instance.
+class AtomicBroadcast {
+ public:
+  virtual ~AtomicBroadcast() = default;
+
+  /// TO-broadcast: injects a message destined to all sites (self included).
+  /// Returns the message id by which deliveries will refer to it.
+  virtual MsgId broadcast(PayloadPtr payload) = 0;
+
+  /// Registers delivery callbacks. Must be called before any broadcast.
+  virtual void set_callbacks(AbcastCallbacks callbacks) = 0;
+
+  /// The site this instance runs on.
+  virtual SiteId site() const = 0;
+
+  virtual const AbcastStats& stats() const = 0;
+};
+
+}  // namespace otpdb

@@ -1,0 +1,15 @@
+// Channel allocation for the protocols in this repository.
+#pragma once
+
+#include "net/message.h"
+
+namespace otpdb {
+
+constexpr Channel kChannelData = 0;       ///< TO-broadcast application messages
+constexpr Channel kChannelSequencer = 1;  ///< sequencer ORDER confirmations
+constexpr Channel kChannelConsensus = 2;  ///< consensus protocol traffic
+constexpr Channel kChannelHeartbeat = 3;  ///< failure detector heartbeats
+constexpr Channel kChannelLazy = 10;      ///< lazy-replication write-set propagation
+constexpr Channel kChannelRecovery = 11;  ///< state-transfer for rejoining replicas
+
+}  // namespace otpdb

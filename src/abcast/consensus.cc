@@ -1,0 +1,248 @@
+#include "abcast/consensus.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "abcast/channels.h"
+#include "util/assert.h"
+#include "util/log.h"
+
+namespace otpdb {
+namespace {
+
+enum class Kind : std::uint8_t { propose, estimate, coord_prop, ack, decision };
+
+struct ConsensusPayload final : Payload {
+  Kind kind;
+  std::uint64_t inst = 0;
+  std::uint64_t round = 0;
+  std::uint64_t ts = 0;
+  ConsensusHost::Value value;
+};
+
+PayloadPtr make_payload(Kind kind, std::uint64_t inst, std::uint64_t round, std::uint64_t ts,
+                        ConsensusHost::Value value) {
+  auto p = std::make_shared<ConsensusPayload>();
+  p->kind = kind;
+  p->inst = inst;
+  p->round = round;
+  p->ts = ts;
+  p->value = std::move(value);
+  return p;
+}
+
+}  // namespace
+
+ConsensusHost::ConsensusHost(Simulator& sim, Network& net, FailureDetector& fd, SiteId self,
+                             ConsensusConfig config)
+    : sim_(sim), net_(net), fd_(fd), self_(self), config_(config) {
+  net_.subscribe(self_, kChannelConsensus, [this](const Message& m) { on_message(m); });
+}
+
+ConsensusHost::Instance& ConsensusHost::instance(std::uint64_t inst) { return instances_[inst]; }
+
+bool ConsensusHost::decided(std::uint64_t inst) const {
+  auto it = instances_.find(inst);
+  return it != instances_.end() && it->second.decided;
+}
+
+void ConsensusHost::crash_reset() {
+  for (auto& [inst, in] : instances_) {
+    if (in.timer_armed) sim_.cancel(in.round_timer);
+  }
+  instances_.clear();
+}
+
+void ConsensusHost::propose(std::uint64_t inst, Value value) {
+  Instance& in = instance(inst);
+  OTPDB_CHECK_MSG(!in.proposed, "duplicate propose for consensus instance");
+  in.proposed = true;
+  if (in.decided) return;  // learned the decision before getting to propose
+  in.est = value;
+  in.ts = 0;
+  net_.multicast(self_, kChannelConsensus,
+                 make_payload(Kind::propose, inst, 0, 0, std::move(value)));
+  arm_round_timer(inst);
+  // If this site coordinates round 0, give the fast path a window, then drive
+  // a coordinated round for liveness.
+  if (coordinator(inst, 0) == self_) {
+    sim_.schedule_after(config_.fast_wait, [this, inst] { maybe_coord_round0(inst); });
+  }
+}
+
+void ConsensusHost::on_message(const Message& msg) {
+  const auto* p = payload_cast<ConsensusPayload>(msg);
+  OTPDB_CHECK(p != nullptr);
+  Instance& in = instance(p->inst);
+
+  // Reply with the decision to any straggler still working on a decided instance.
+  if (in.decided) {
+    if (p->kind != Kind::decision && msg.from != self_) {
+      net_.unicast(self_, msg.from, kChannelConsensus,
+                   make_payload(Kind::decision, p->inst, 0, 0, in.decision));
+    }
+    return;
+  }
+
+  switch (p->kind) {
+    case Kind::propose:
+      in.proposals[msg.from] = p->value;
+      // A proposal also serves as a round-0 estimate with timestamp 0.
+      maybe_fast_decide(p->inst);
+      if (!instances_[p->inst].decided && coordinator(p->inst, 0) == self_ &&
+          in.proposals.size() == net_.site_count()) {
+        // Everyone proposed but the fast path failed: no point waiting longer.
+        maybe_coord_round0(p->inst);
+      }
+      break;
+    case Kind::estimate:
+      handle_estimate(p->inst, p->round, msg.from, p->ts, p->value);
+      break;
+    case Kind::coord_prop:
+      handle_coord_prop(p->inst, p->round, msg.from, p->value);
+      break;
+    case Kind::ack:
+      handle_ack(p->inst, p->round, msg.from);
+      break;
+    case Kind::decision:
+      decide(p->inst, p->value, /*fast=*/false, /*announce=*/false);
+      break;
+  }
+}
+
+void ConsensusHost::maybe_fast_decide(std::uint64_t inst) {
+  Instance& in = instance(inst);
+  if (in.decided || in.proposals.size() != net_.site_count()) return;
+  const Value& first = in.proposals.begin()->second;
+  for (const auto& [site, v] : in.proposals) {
+    if (v != first) return;
+  }
+  // All n proposals identical: decide without any further coordination. No
+  // announcement is needed - every correct site receives the same n proposals
+  // and takes this same branch.
+  decide(inst, first, /*fast=*/true, /*announce=*/false);
+}
+
+void ConsensusHost::maybe_coord_round0(std::uint64_t inst) {
+  Instance& in = instance(inst);
+  if (in.decided || in.coord_proposed_round0 || in.round > 0) return;
+  if (!in.proposed) return;  // cannot coordinate before having a value
+  if (in.proposals.size() < majority()) {
+    // Not enough proposals yet; retry shortly (liveness under slow links).
+    sim_.schedule_after(config_.fast_wait, [this, inst] { maybe_coord_round0(inst); });
+    return;
+  }
+  // Give the fast path one more chance on the data we have.
+  maybe_fast_decide(inst);
+  if (instance(inst).decided) return;
+  in.coord_proposed_round0 = true;
+  coord_propose(inst, 0, in.est);
+}
+
+void ConsensusHost::coord_propose(std::uint64_t inst, std::uint64_t round, Value value) {
+  Instance& in = instance(inst);
+  in.coord_value[round] = value;
+  ++stats_.rounds_started;
+  net_.multicast(self_, kChannelConsensus,
+                 make_payload(Kind::coord_prop, inst, round, 0, std::move(value)));
+}
+
+void ConsensusHost::handle_estimate(std::uint64_t inst, std::uint64_t round, SiteId from,
+                                    std::uint64_t ts, const Value& value) {
+  Instance& in = instance(inst);
+  if (coordinator(inst, round) != self_) return;
+  in.estimates[round][from] = {ts, value};
+  if (in.coord_value.contains(round)) return;  // already proposed this round
+  // Include our own estimate once we have one.
+  if (in.proposed) in.estimates[round][self_] = {in.ts, in.est};
+  if (in.estimates[round].size() < majority()) return;
+  // Adopt the estimate with the highest adoption timestamp (locking rule).
+  const std::pair<std::uint64_t, Value>* best = nullptr;
+  for (const auto& [site, tsv] : in.estimates[round]) {
+    if (!best || tsv.first > best->first) best = &tsv;
+  }
+  coord_propose(inst, round, best->second);
+}
+
+void ConsensusHost::handle_coord_prop(std::uint64_t inst, std::uint64_t round, SiteId from,
+                                      const Value& value) {
+  Instance& in = instance(inst);
+  // Adopt the coordinator's value and ack - but never let a stale round
+  // overwrite an estimate adopted in a later round, or the locking argument
+  // (decided values survive into all later rounds) would break.
+  if (round + 1 < in.ts) return;
+  in.est = value;
+  in.ts = round + 1;
+  in.round = std::max(in.round, round);
+  net_.unicast(self_, from, kChannelConsensus, make_payload(Kind::ack, inst, round, 0, {}));
+}
+
+void ConsensusHost::handle_ack(std::uint64_t inst, std::uint64_t round, SiteId from) {
+  Instance& in = instance(inst);
+  auto cv = in.coord_value.find(round);
+  if (cv == in.coord_value.end()) return;
+  auto& acks = in.acks[round];
+  acks.insert(from);
+  acks.insert(self_);  // the coordinator adopted its own proposal
+  if (acks.size() >= majority()) {
+    decide(inst, cv->second, /*fast=*/false, /*announce=*/true);
+  }
+}
+
+void ConsensusHost::decide(std::uint64_t inst, const Value& value, bool fast, bool announce) {
+  Instance& in = instance(inst);
+  if (in.decided) return;
+  in.decided = true;
+  in.decision = value;
+  if (in.timer_armed) {
+    sim_.cancel(in.round_timer);
+    in.timer_armed = false;
+  }
+  ++stats_.instances_decided;
+  if (fast) {
+    ++stats_.fast_decides;
+  } else {
+    ++stats_.round_decides;
+  }
+  if (announce) {
+    net_.multicast(self_, kChannelConsensus, make_payload(Kind::decision, inst, 0, 0, value));
+  }
+  OTPDB_TRACE("consensus") << "site " << self_ << " decides inst " << inst << " ("
+                           << (fast ? "fast" : "round") << ", " << value.size() << " msgs)";
+  if (on_decide_) on_decide_(inst, value);
+}
+
+void ConsensusHost::arm_round_timer(std::uint64_t inst) {
+  Instance& in = instance(inst);
+  if (in.decided) return;
+  if (in.timer_armed) sim_.cancel(in.round_timer);
+  double timeout = static_cast<double>(config_.round_timeout);
+  for (std::uint64_t k = 0; k < in.round && timeout < static_cast<double>(config_.max_round_timeout);
+       ++k) {
+    timeout *= config_.backoff;
+  }
+  timeout = std::min(timeout, static_cast<double>(config_.max_round_timeout));
+  in.round_timer = sim_.schedule_after(static_cast<SimTime>(timeout),
+                                       [this, inst] { advance_round(inst); });
+  in.timer_armed = true;
+}
+
+void ConsensusHost::advance_round(std::uint64_t inst) {
+  Instance& in = instance(inst);
+  in.timer_armed = false;
+  if (in.decided) return;
+  ++in.round;
+  const SiteId coord = coordinator(inst, in.round);
+  OTPDB_DEBUG("consensus") << "site " << self_ << " advances inst " << inst << " to round "
+                           << in.round << " (coordinator " << coord << ")";
+  if (coord == self_) {
+    // Seed our own estimate; more arrive from peers advancing their timers.
+    handle_estimate(inst, in.round, self_, in.ts, in.est);
+  } else {
+    net_.unicast(self_, coord, kChannelConsensus,
+                 make_payload(Kind::estimate, inst, in.round, in.ts, in.est));
+  }
+  arm_round_timer(inst);
+}
+
+}  // namespace otpdb

@@ -1,0 +1,64 @@
+#include "abcast/failure_detector.h"
+
+#include "abcast/channels.h"
+#include "util/assert.h"
+#include "util/log.h"
+
+namespace otpdb {
+
+namespace {
+struct HeartbeatPayload final : Payload {};
+}  // namespace
+
+FailureDetector::FailureDetector(Simulator& sim, Network& net, SiteId self,
+                                 FailureDetectorConfig config)
+    : sim_(sim),
+      net_(net),
+      self_(self),
+      config_(config),
+      last_heard_(net.site_count(), 0),
+      suspected_(net.site_count(), false) {
+  net_.subscribe(self_, kChannelHeartbeat, [this](const Message& m) { on_heartbeat(m); });
+}
+
+void FailureDetector::start() {
+  OTPDB_CHECK(!started_);
+  started_ = true;
+  // Treat everyone as freshly heard at start so nobody is suspected before a
+  // full timeout elapses.
+  for (auto& t : last_heard_) t = sim_.now();
+  tick();
+}
+
+std::size_t FailureDetector::alive_count() const {
+  std::size_t n = 0;
+  for (bool s : suspected_)
+    if (!s) ++n;
+  return n;
+}
+
+void FailureDetector::tick() {
+  net_.multicast(self_, kChannelHeartbeat, std::make_shared<HeartbeatPayload>());
+  const SimTime now = sim_.now();
+  for (SiteId s = 0; s < net_.site_count(); ++s) {
+    if (s == self_) continue;
+    const bool late = now - last_heard_[s] > config_.suspect_timeout;
+    if (late && !suspected_[s]) {
+      suspected_[s] = true;
+      OTPDB_DEBUG("fd") << "site " << self_ << " suspects " << s;
+      if (on_suspect_) on_suspect_(s);
+    }
+  }
+  sim_.schedule_after(config_.interval, [this] { tick(); });
+}
+
+void FailureDetector::on_heartbeat(const Message& msg) {
+  last_heard_[msg.from] = sim_.now();
+  if (suspected_[msg.from]) {
+    suspected_[msg.from] = false;
+    OTPDB_DEBUG("fd") << "site " << self_ << " restores " << msg.from;
+    if (on_restore_) on_restore_(msg.from);
+  }
+}
+
+}  // namespace otpdb

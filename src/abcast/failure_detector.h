@@ -1,0 +1,56 @@
+// Heartbeat-based failure detector (eventually-strong flavour).
+//
+// Every site multicasts a heartbeat each `interval`; a peer silent for longer
+// than `suspect_timeout` becomes suspected. Suspicion is revised when a
+// heartbeat arrives again (crash-recovery model: sites always recover). In the
+// simulated network message delays are eventually bounded, so the detector is
+// eventually accurate - which is all the consensus layer needs for liveness.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace otpdb {
+
+struct FailureDetectorConfig {
+  SimTime interval = 25 * kMillisecond;
+  SimTime suspect_timeout = 120 * kMillisecond;
+};
+
+class FailureDetector {
+ public:
+  FailureDetector(Simulator& sim, Network& net, SiteId self, FailureDetectorConfig config);
+
+  /// Begins emitting heartbeats and monitoring peers.
+  void start();
+
+  /// True if `site` is currently suspected of having crashed.
+  bool suspects(SiteId site) const { return suspected_[site]; }
+
+  /// Number of currently unsuspected sites (self included).
+  std::size_t alive_count() const;
+
+  /// Optional notifications.
+  void set_on_suspect(std::function<void(SiteId)> fn) { on_suspect_ = std::move(fn); }
+  void set_on_restore(std::function<void(SiteId)> fn) { on_restore_ = std::move(fn); }
+
+ private:
+  void tick();
+  void on_heartbeat(const Message& msg);
+
+  Simulator& sim_;
+  Network& net_;
+  SiteId self_;
+  FailureDetectorConfig config_;
+  std::vector<SimTime> last_heard_;
+  std::vector<bool> suspected_;
+  std::function<void(SiteId)> on_suspect_;
+  std::function<void(SiteId)> on_restore_;
+  bool started_ = false;
+};
+
+}  // namespace otpdb

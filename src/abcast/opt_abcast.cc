@@ -1,0 +1,331 @@
+#include "abcast/opt_abcast.h"
+
+#include <algorithm>
+
+#include "abcast/channels.h"
+#include "util/assert.h"
+#include "util/log.h"
+
+namespace otpdb {
+
+OptAbcast::OptAbcast(Simulator& sim, Network& net, FailureDetector& fd, SiteId self,
+                     OptAbcastConfig config)
+    : sim_(sim),
+      net_(net),
+      self_(self),
+      config_(config),
+      consensus_(sim, net, fd, self, config.consensus) {
+  net_.subscribe(self_, kChannelData, [this](const Message& m) { on_data(m); });
+  net_.subscribe(self_, kChannelRecovery, [this](const Message& m) { on_recovery_message(m); });
+  consensus_.set_on_decide(
+      [this](std::uint64_t inst, const std::vector<MsgId>& seq) { on_decide(inst, seq); });
+}
+
+MsgId OptAbcast::broadcast(PayloadPtr payload) {
+  ++stats_.broadcasts;
+  return net_.multicast(self_, kChannelData, std::move(payload));
+}
+
+void OptAbcast::set_callbacks(AbcastCallbacks callbacks) { callbacks_ = std::move(callbacks); }
+
+void OptAbcast::on_data(const Message& msg) {
+  if (arrived_.contains(msg.id)) return;  // late retransmit of a fetched body
+  arrived_.insert(msg.id);
+  body_cache_[msg.id] = msg.payload;
+  opt_time_[msg.id] = sim_.now();
+  ++stats_.opt_delivered;
+  if (callbacks_.opt_deliver) callbacks_.opt_deliver(msg);
+
+  if (ordered_.contains(msg.id)) {
+    // Already definitively ordered by a decided stage; its TO-delivery may
+    // have been waiting for this arrival (Local Order).
+    drain_decided();
+  } else {
+    pending_.push_back(msg.id);
+    consider_stage();
+  }
+}
+
+void OptAbcast::consider_stage() {
+  if (stage_timer_armed_ || pending_.empty()) return;
+  if (next_propose_ - next_apply_ >= config_.max_outstanding_stages) return;
+  if (config_.batch_delay > 0) {
+    stage_timer_armed_ = true;
+    // Epoch-aligned batching: open stages at global multiples of batch_delay
+    // so every site evaluates the same alignment cutoff.
+    const SimTime boundary = (sim_.now() / config_.batch_delay + 1) * config_.batch_delay;
+    sim_.schedule_at(boundary, [this] {
+      stage_timer_armed_ = false;
+      start_stage();
+    });
+  } else {
+    start_stage();
+  }
+}
+
+void OptAbcast::start_stage() {
+  if (pending_.empty()) return;
+  if (next_propose_ - next_apply_ >= config_.max_outstanding_stages) return;
+  // Propose aged messages (arrived before cutoff) not already sitting in an
+  // undecided stage; fresher arrivals wait so all sites propose the same set.
+  const SimTime cutoff = sim_.now() - config_.alignment_window;
+  std::vector<MsgId> proposal;
+  for (const MsgId& id : pending_) {
+    if (proposal.size() >= config_.max_batch) break;
+    if (opt_time_.at(id) > cutoff) break;  // arrival order: the rest is fresher
+    if (in_proposal_.contains(id)) continue;
+    proposal.push_back(id);
+  }
+  if (proposal.empty()) {
+    // Everything proposable is too fresh (or already in flight); retry at a
+    // later boundary.
+    if (!stage_timer_armed_) {
+      stage_timer_armed_ = true;
+      const SimTime step = std::max(config_.batch_delay, config_.alignment_window);
+      const SimTime boundary = (sim_.now() / step + 1) * step;
+      sim_.schedule_at(boundary, [this] {
+        stage_timer_armed_ = false;
+        start_stage();
+      });
+    }
+    return;
+  }
+  const std::uint64_t inst = next_propose_++;
+  for (const MsgId& id : proposal) in_proposal_.insert(id);
+  my_proposals_[inst] = proposal;
+  OTPDB_TRACE("optabcast") << "site " << self_ << " proposes stage " << inst << " with "
+                           << proposal.size() << " msgs";
+  consensus_.propose(inst, std::move(proposal));
+  consider_stage();  // maybe pipeline another stage for the remaining backlog
+}
+
+void OptAbcast::on_decide(std::uint64_t inst, const std::vector<MsgId>& sequence) {
+  // A decision may arrive twice on a recovering site: once through the
+  // catch-up response and once through its own consensus participation.
+  // Consensus agreement guarantees both carry the same sequence; apply once.
+  if (inst < next_apply_) return;
+  decided_buffer_.emplace(inst, sequence);
+  while (true) {
+    auto it = decided_buffer_.find(next_apply_);
+    if (it == decided_buffer_.end()) break;
+    apply_decision(next_apply_, it->second);
+    decided_buffer_.erase(it);
+    ++next_apply_;
+  }
+  drain_decided();
+  consider_stage();
+}
+
+void OptAbcast::apply_decision(std::uint64_t inst, const std::vector<MsgId>& sequence) {
+  decision_log_[inst] = sequence;
+  for (const MsgId& id : sequence) {
+    // With pipelined stages a message can appear in two decided sequences
+    // (proposed for stage r+1 at this site while stage r's decision, formed
+    // elsewhere, already contained it). Deliver on first occurrence only;
+    // this is deterministic because every site applies decisions in stage
+    // order.
+    if (ordered_.contains(id)) continue;
+    ordered_.insert(id);
+    in_proposal_.erase(id);
+    decided_queue_.push_back(id);
+  }
+  // Messages this site proposed for the stage but the decision left out roll
+  // back to proposable state (they will enter a later stage).
+  auto mine = my_proposals_.find(inst);
+  if (mine != my_proposals_.end()) {
+    for (const MsgId& id : mine->second) {
+      if (!ordered_.contains(id)) in_proposal_.erase(id);
+    }
+    my_proposals_.erase(mine);
+  }
+  // Keep next_propose_ monotone across sites that never proposed this stage.
+  next_propose_ = std::max(next_propose_, inst + 1);
+  // Drop ordered messages from the local pending list (they may sit at any
+  // position if the tentative order disagreed with the decision).
+  std::erase_if(pending_, [&](const MsgId& id) { return ordered_.contains(id); });
+}
+
+void OptAbcast::drain_decided() {
+  while (!decided_queue_.empty() && arrived_.contains(decided_queue_.front())) {
+    const MsgId id = decided_queue_.front();
+    decided_queue_.pop_front();
+    const TOIndex index = next_index_++;
+    ++stats_.to_delivered;
+    stats_.opt_to_gap_total_ns += sim_.now() - opt_time_[id];
+    if (callbacks_.to_deliver) callbacks_.to_deliver(id, index);
+  }
+  if (!decided_queue_.empty()) {
+    // The definitive order references messages whose bodies never reached us
+    // (we were down when they were multicast, or they are still in flight).
+    // Fetch them from a peer so TO-delivery can proceed (Local Order
+    // preserved: fetched bodies are Opt-delivered first).
+    request_missing_bodies();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery
+// ---------------------------------------------------------------------------
+
+namespace {
+
+enum class RecoveryKind : std::uint8_t {
+  catch_up_request,
+  catch_up_response,
+  body_request,
+  body_response,
+};
+
+struct RecoveryPayload final : Payload {
+  RecoveryKind kind = RecoveryKind::catch_up_request;
+  std::uint64_t from_stage = 0;
+  std::vector<std::pair<std::uint64_t, std::vector<MsgId>>> decisions;
+  std::vector<MsgId> subjects;                         // body_request
+  std::vector<std::pair<MsgId, PayloadPtr>> bodies;    // body_response
+};
+
+/// How many missing bodies one request fetches.
+constexpr std::size_t kBodyBatch = 64;
+
+}  // namespace
+
+void OptAbcast::crash_reset() {
+  pending_.clear();
+  arrived_.clear();
+  ordered_.clear();
+  in_proposal_.clear();
+  opt_time_.clear();
+  decided_queue_.clear();
+  decided_buffer_.clear();
+  my_proposals_.clear();
+  next_apply_ = 0;
+  next_propose_ = 0;
+  next_index_ = 1;
+  stage_timer_armed_ = false;  // any armed timer re-checks state when it fires
+  body_cache_.clear();
+  decision_log_.clear();
+  if (body_request_outstanding_) sim_.cancel(body_retry_timer_);
+  body_request_outstanding_ = false;
+  body_request_attempts_ = 0;
+  recovering_ = false;
+  consensus_.crash_reset();
+}
+
+void OptAbcast::begin_recovery() {
+  recovering_ = true;
+  send_catch_up_request();
+}
+
+void OptAbcast::send_catch_up_request() {
+  if (!recovering_) return;
+  ++catch_up_round_;
+  auto request = std::make_shared<RecoveryPayload>();
+  request->kind = RecoveryKind::catch_up_request;
+  request->from_stage = next_apply_;
+  net_.multicast(self_, kChannelRecovery, std::move(request));
+  // Retry until caught up: responses are idempotent, and load may be idle.
+  sim_.schedule_after(100 * kMillisecond, [this] { send_catch_up_request(); });
+}
+
+void OptAbcast::request_missing_bodies() {
+  if (body_request_outstanding_ || net_.site_count() < 2) return;
+  body_request_outstanding_ = true;
+  auto request = std::make_shared<RecoveryPayload>();
+  request->kind = RecoveryKind::body_request;
+  for (const MsgId& id : decided_queue_) {
+    if (request->subjects.size() >= kBodyBatch) break;
+    if (!arrived_.contains(id)) request->subjects.push_back(id);
+  }
+  OTPDB_DEBUG("optabcast") << "site " << self_ << " requests " << request->subjects.size()
+                           << " missing bodies";
+  // Ask one peer (rotating across retries); a single responder keeps the
+  // shared segment free of duplicate replies.
+  const auto n = static_cast<SiteId>(net_.site_count());
+  const SiteId peer = (self_ + 1 + body_request_attempts_ % (n - 1)) % n;
+  net_.unicast(self_, peer, kChannelRecovery, std::move(request));
+  // Retry against the next peer if this one does not answer (crashed, or the
+  // reply was lost); a received response cancels the timer.
+  body_retry_timer_ = sim_.schedule_after(50 * kMillisecond, [this] {
+    body_request_outstanding_ = false;
+    ++body_request_attempts_;
+    drain_decided();
+  });
+}
+
+void OptAbcast::deliver_fetched_body(const MsgId& id, PayloadPtr payload) {
+  if (arrived_.contains(id)) return;
+  arrived_.insert(id);
+  body_cache_[id] = payload;
+  opt_time_[id] = sim_.now();
+  ++stats_.opt_delivered;
+  if (callbacks_.opt_deliver) {
+    callbacks_.opt_deliver(Message{id, id.sender, kChannelData, std::move(payload)});
+  }
+}
+
+void OptAbcast::on_recovery_message(const Message& msg) {
+  const auto* p = payload_cast<RecoveryPayload>(msg);
+  OTPDB_CHECK(p != nullptr);
+  switch (p->kind) {
+    case RecoveryKind::catch_up_request: {
+      if (msg.from == self_) return;
+      // Respond even with an empty log: an empty response tells the
+      // requester it is already caught up.
+      auto response = std::make_shared<RecoveryPayload>();
+      response->kind = RecoveryKind::catch_up_response;
+      for (auto it = decision_log_.lower_bound(p->from_stage); it != decision_log_.end();
+           ++it) {
+        response->decisions.emplace_back(it->first, it->second);
+      }
+      net_.unicast(self_, msg.from, kChannelRecovery, std::move(response));
+      break;
+    }
+    case RecoveryKind::catch_up_response: {
+      bool progressed = false;
+      for (const auto& [stage, sequence] : p->decisions) {
+        if (stage < next_apply_ || decided_buffer_.contains(stage)) continue;
+        decided_buffer_.emplace(stage, sequence);
+        progressed = true;
+      }
+      while (true) {
+        auto it = decided_buffer_.find(next_apply_);
+        if (it == decided_buffer_.end()) break;
+        apply_decision(next_apply_, it->second);
+        decided_buffer_.erase(it);
+        ++next_apply_;
+      }
+      drain_decided();
+      consider_stage();
+      // Caught up once a response brings nothing new and no delivery blocks.
+      if (recovering_ && !progressed && decided_queue_.empty()) recovering_ = false;
+      break;
+    }
+    case RecoveryKind::body_request: {
+      if (msg.from == self_) return;
+      auto response = std::make_shared<RecoveryPayload>();
+      response->kind = RecoveryKind::body_response;
+      for (const MsgId& id : p->subjects) {
+        auto it = body_cache_.find(id);
+        if (it != body_cache_.end()) response->bodies.emplace_back(id, it->second);
+      }
+      OTPDB_DEBUG("optabcast") << "site " << self_ << " serves " << response->bodies.size()
+                               << "/" << p->subjects.size() << " bodies to " << msg.from;
+      if (!response->bodies.empty()) {
+        net_.unicast(self_, msg.from, kChannelRecovery, std::move(response));
+      }
+      break;
+    }
+    case RecoveryKind::body_response: {
+      if (body_request_outstanding_) {
+        sim_.cancel(body_retry_timer_);
+        body_request_outstanding_ = false;
+        body_request_attempts_ = 0;
+      }
+      for (const auto& [id, body] : p->bodies) deliver_fetched_body(id, body);
+      drain_decided();
+      break;
+    }
+  }
+}
+
+}  // namespace otpdb

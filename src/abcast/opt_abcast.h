@@ -1,0 +1,141 @@
+// OptAbcast - Atomic Broadcast with Optimistic Delivery (paper Section 2.1,
+// protocol in the style of Pedone & Schiper, DISC'98).
+//
+// Data messages are IP-multicast to all sites and Opt-delivered the moment
+// they arrive (tentative order = spontaneous network order). The definitive
+// order is established in numbered *stages*, each backed by one consensus
+// instance: every site proposes its arrival order of a batch of unordered
+// messages. When spontaneous total order holds, all proposals are identical
+// and the consensus fast path decides with no extra coordination rounds;
+// otherwise a coordinator round resolves the mismatch. The decided sequence
+// is TO-delivered in stage order; a message decided before it reaches some
+// site is TO-delivered there only after its arrival, preserving the Local
+// Order property (Opt-deliver always precedes TO-deliver).
+//
+// Two mechanisms keep the identical-proposal fast path hot:
+//  * Epoch-aligned batching with an alignment window: stages open at global
+//    multiples of batch_delay and only include messages that arrived at
+//    least alignment_window before the boundary, so all sites evaluate the
+//    same cutoff and propose the same batch despite arrival skew.
+//  * Stage pipelining: up to max_outstanding_stages consensus instances run
+//    concurrently, so a stage's proposal time is anchored to the global
+//    epoch grid instead of the (skewed) arrival of the previous decision,
+//    and ordering throughput is not bound by per-stage latency.
+//
+// Decisions can be learned out of order (fast-path decisions are silent, and
+// instances are pipelined); they are buffered and applied strictly in stage
+// order.
+//
+// Tolerates f < n/2 crash faults (inherited from the consensus layer).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "abcast/abcast.h"
+#include "abcast/consensus.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace otpdb {
+
+struct OptAbcastConfig {
+  /// Stage cadence: stages open at global multiples of this delay.
+  SimTime batch_delay = 1 * kMillisecond;
+  /// A stage only includes messages that arrived at least this long before
+  /// the stage boundary; fresher messages wait for the next stage. Covers
+  /// inter-site arrival skew (including the hiccup tail); pure added ordering
+  /// latency, traded against fast-path probability.
+  SimTime alignment_window = 800 * kMicrosecond;
+  /// Maximum consensus instances in flight concurrently. The default (1,
+  /// strictly sequential stages) maximizes the identical-proposal fast-path
+  /// ratio: overlapped stages make proposal sets diverge after any mismatch,
+  /// which costs more than the pipelining gains at LAN latencies (see
+  /// bench/ablation_protocol for the measured tradeoff).
+  std::size_t max_outstanding_stages = 1;
+  /// Cap on messages proposed per stage.
+  std::size_t max_batch = 128;
+  ConsensusConfig consensus;
+};
+
+class OptAbcast final : public AtomicBroadcast {
+ public:
+  OptAbcast(Simulator& sim, Network& net, FailureDetector& fd, SiteId self,
+            OptAbcastConfig config);
+
+  MsgId broadcast(PayloadPtr payload) override;
+  void set_callbacks(AbcastCallbacks callbacks) override;
+  SiteId site() const override { return self_; }
+  const AbcastStats& stats() const override { return stats_; }
+
+  /// Consensus-level counters (fast vs. coordinated stages).
+  const ConsensusStats& consensus_stats() const { return consensus_.stats(); }
+
+  /// Next definitive index this site will assign (== TO-delivered count + 1).
+  TOIndex next_index() const { return next_index_; }
+
+  // -- Crash recovery (paper model: sites always recover) -------------------
+  //
+  // A crash wipes this endpoint's volatile protocol state (arrived bodies,
+  // pending batches, in-flight proposals, even the applied-stage counters -
+  // the definitive order is re-learned, and the replica suppresses re-commits
+  // below its durable watermark). Catch-up is redo-style: peers keep a
+  // decision log and a body cache; the recovering site requests decisions
+  // from stage 0 and fetches missing message bodies on demand, re-delivering
+  // Opt+TO through the normal callbacks. New stages keep flowing concurrently.
+
+  /// Discards all volatile protocol state. Call while the site is down.
+  void crash_reset();
+  /// Starts catch-up after the network reconnected this site.
+  void begin_recovery();
+  /// True while catch-up is still in progress.
+  bool recovering() const { return recovering_; }
+
+ private:
+  void on_data(const Message& msg);
+  void consider_stage();
+  void start_stage();
+  void on_decide(std::uint64_t inst, const std::vector<MsgId>& sequence);
+  void apply_decision(std::uint64_t inst, const std::vector<MsgId>& sequence);
+  void drain_decided();
+  void on_recovery_message(const Message& msg);
+  void request_missing_bodies();
+  void send_catch_up_request();
+  void deliver_fetched_body(const MsgId& id, PayloadPtr payload);
+
+  Simulator& sim_;
+  Network& net_;
+  SiteId self_;
+  OptAbcastConfig config_;
+  ConsensusHost consensus_;
+  AbcastCallbacks callbacks_;
+
+  std::deque<MsgId> pending_;                    // arrived, not yet definitively ordered
+  std::unordered_set<MsgId> arrived_;            // everything Opt-delivered so far
+  std::unordered_set<MsgId> ordered_;            // everything decided so far
+  std::unordered_set<MsgId> in_proposal_;        // proposed in an undecided stage
+  std::unordered_map<MsgId, SimTime> opt_time_;  // for alignment + gap statistic
+  std::deque<MsgId> decided_queue_;              // decided, awaiting TO-delivery
+  std::map<std::uint64_t, std::vector<MsgId>> decided_buffer_;  // out-of-order decisions
+  std::map<std::uint64_t, std::vector<MsgId>> my_proposals_;    // per in-flight stage
+  std::uint64_t next_apply_ = 0;    // lowest undecided stage at this site
+  std::uint64_t next_propose_ = 0;  // next stage this site will propose for
+  bool stage_timer_armed_ = false;
+  TOIndex next_index_ = 1;
+  AbcastStats stats_;
+
+  // Recovery support.
+  std::unordered_map<MsgId, PayloadPtr> body_cache_;             // served to recovering peers
+  std::map<std::uint64_t, std::vector<MsgId>> decision_log_;     // stage -> decided sequence
+  bool recovering_ = false;
+  bool body_request_outstanding_ = false;
+  EventId body_retry_timer_{};
+  std::uint32_t body_request_attempts_ = 0;  // rotates the peer asked
+  std::uint64_t catch_up_round_ = 0;
+};
+
+}  // namespace otpdb

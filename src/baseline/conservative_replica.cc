@@ -1,0 +1,128 @@
+#include "baseline/conservative_replica.h"
+
+#include <utility>
+
+#include "util/assert.h"
+
+namespace otpdb {
+
+ConservativeReplica::ConservativeReplica(Simulator& sim, AtomicBroadcast& abcast,
+                                         VersionedStore& store, const PartitionCatalog& catalog,
+                                         const ProcedureRegistry& registry, SiteId self)
+    : sim_(sim),
+      abcast_(abcast),
+      store_(store),
+      catalog_(catalog),
+      registry_(registry),
+      self_(self),
+      queues_(catalog.class_count()),
+      queries_(sim, store, catalog, metrics_) {
+  abcast_.set_callbacks(AbcastCallbacks{
+      [this](const Message& msg) { on_opt_deliver(msg); },
+      [this](const MsgId& id, TOIndex index) { on_to_deliver(id, index); },
+  });
+}
+
+void ConservativeReplica::submit_update(ProcId proc, ClassId klass, TxnArgs args,
+                                        SimTime exec_duration) {
+  OTPDB_CHECK(klass < catalog_.class_count());
+  auto request = std::make_shared<TxnRequest>();
+  request->proc = proc;
+  request->klass = klass;
+  request->args = std::move(args);
+  request->origin = self_;
+  request->client_seq = next_client_seq_++;
+  request->submitted_at = sim_.now();
+  request->exec_duration = exec_duration;
+  ++metrics_.submitted_updates;
+  abcast_.broadcast(std::move(request));
+}
+
+void ConservativeReplica::submit_query(QueryFn fn, SimTime exec_duration, QueryDoneFn done) {
+  queries_.submit(std::move(fn), exec_duration, std::move(done));
+}
+
+void ConservativeReplica::on_opt_deliver(const Message& msg) {
+  // The conservative engine ignores the tentative order: it only keeps the
+  // body so the TO-delivery confirmation can be matched to it.
+  auto request = std::dynamic_pointer_cast<const TxnRequest>(msg.payload);
+  OTPDB_CHECK_MSG(request != nullptr, "data channel carried a non-transaction payload");
+  auto record = std::make_unique<TxnRecord>();
+  record->id = msg.id;
+  record->request = std::move(request);
+  record->opt_delivered_at = sim_.now();
+  const auto [it, inserted] = txns_.emplace(msg.id, std::move(record));
+  OTPDB_CHECK_MSG(inserted, "duplicate Opt-delivery");
+  ++buffered_;
+}
+
+void ConservativeReplica::on_to_deliver(const MsgId& id, TOIndex index) {
+  auto it = txns_.find(id);
+  OTPDB_CHECK_MSG(it != txns_.end(), "TO-delivery without prior Opt-delivery");
+  TxnRecord* txn = it->second.get();
+  txn->to_index = index;
+  txn->to_delivered_at = sim_.now();
+  txn->deliv = DeliveryState::committable;
+  queries_.note_to_delivered(txn->request->klass, index);
+  metrics_.opt_to_gap_ns.add(static_cast<double>(txn->to_delivered_at - txn->opt_delivered_at));
+  --buffered_;
+  ++queued_;
+
+  ClassQueue& queue = queues_[txn->request->klass];
+  queue.append(txn);
+  if (queue.size() == 1) submit_execution(txn);
+}
+
+void ConservativeReplica::submit_execution(TxnRecord* txn) {
+  OTPDB_CHECK(!txn->running);
+  txn->running = true;
+  ++txn->attempts;
+  TxnContext ctx(store_, catalog_, txn->id, txn->request->klass, txn->request->args);
+  registry_.get(txn->request->proc)(ctx);
+  txn->last_reads = ctx.reads();
+  txn->last_writes = ctx.writes();
+  txn->completion =
+      sim_.schedule_after(txn->request->exec_duration, [this, txn] { on_complete(txn); });
+}
+
+void ConservativeReplica::on_complete(TxnRecord* txn) {
+  txn->running = false;
+  txn->exec = ExecState::executed;
+  txn->executed_at = sim_.now();
+  txn->committed_at = sim_.now();
+
+  const ClassId klass = txn->request->klass;
+  ClassQueue& queue = queues_[klass];
+  OTPDB_CHECK(queue.head() == txn);
+
+  CommitRecord record;
+  record.site = self_;
+  record.txn = txn->id;
+  record.proc = txn->request->proc;
+  record.klass = klass;
+  record.index = txn->to_index;
+  record.at = txn->committed_at;
+  record.writes = store_.provisional_writes(txn->id);
+  record.reads = txn->last_reads;
+
+  store_.commit(txn->id, txn->to_index);
+  queue.remove_head(txn);
+  --queued_;
+
+  ++metrics_.committed;
+  if (txn->request->origin == self_) {
+    const double latency = static_cast<double>(txn->committed_at - txn->request->submitted_at);
+    metrics_.commit_latency_ns.add(latency);
+    metrics_.commit_latency_percentiles_ns.add(latency);
+  }
+  metrics_.commit_wait_ns.add(0.0);  // commit follows execution immediately
+  if (commit_hook_) commit_hook_(record);
+
+  const TOIndex committed_index = txn->to_index;
+  txns_.erase(txn->id);
+
+  if (TxnRecord* next = queue.head()) submit_execution(next);
+  queries_.note_committed(klass, committed_index);
+}
+
+}  // namespace otpdb

@@ -1,0 +1,70 @@
+// ConservativeReplica - the non-optimistic baseline ([1,12,16,17] in the
+// paper): transactions execute only after TO-delivery, in definitive order.
+//
+// Identical substrate to OtpReplica (same broadcast, store, class queues,
+// snapshot queries) minus the optimism: Opt-deliveries only buffer the
+// request body; execution starts at TO-delivery. Since execution order always
+// equals the definitive order, there are never aborts or reorderings - but
+// the full ordering latency of the broadcast sits on the critical path of
+// every transaction. This is the direct ablation for the paper's overlap
+// claim (bench/overlap_latency).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "abcast/abcast.h"
+#include "core/class_queue.h"
+#include "core/query_engine.h"
+#include "core/replica_base.h"
+#include "core/txn.h"
+#include "db/partition.h"
+#include "db/procedures.h"
+#include "db/versioned_store.h"
+#include "sim/simulator.h"
+
+namespace otpdb {
+
+class ConservativeReplica final : public ReplicaBase {
+ public:
+  ConservativeReplica(Simulator& sim, AtomicBroadcast& abcast, VersionedStore& store,
+                      const PartitionCatalog& catalog, const ProcedureRegistry& registry,
+                      SiteId self);
+
+  void submit_update(ProcId proc, ClassId klass, TxnArgs args, SimTime exec_duration) override;
+  void submit_query(QueryFn fn, SimTime exec_duration, QueryDoneFn done) override;
+  void set_commit_hook(CommitHook hook) override { commit_hook_ = std::move(hook); }
+  std::size_t in_flight() const override {
+    return buffered_ + queued_ + (metrics_.queries_started - metrics_.queries_done);
+  }
+  const ReplicaMetrics& metrics() const override { return metrics_; }
+  SiteId site() const override { return self_; }
+
+  TOIndex last_to_index() const { return queries_.last_to_index(); }
+
+ private:
+  void on_opt_deliver(const Message& msg);
+  void on_to_deliver(const MsgId& id, TOIndex index);
+  void submit_execution(TxnRecord* txn);
+  void on_complete(TxnRecord* txn);
+
+  Simulator& sim_;
+  AtomicBroadcast& abcast_;
+  VersionedStore& store_;
+  const PartitionCatalog& catalog_;
+  const ProcedureRegistry& registry_;
+  SiteId self_;
+
+  std::vector<ClassQueue> queues_;
+  std::unordered_map<MsgId, std::unique_ptr<TxnRecord>> txns_;
+  std::size_t buffered_ = 0;  ///< Opt-delivered, not yet TO-delivered
+  std::size_t queued_ = 0;    ///< TO-delivered, not yet committed
+
+  std::uint64_t next_client_seq_ = 0;
+  ReplicaMetrics metrics_;
+  QueryEngine queries_;
+  CommitHook commit_hook_;
+};
+
+}  // namespace otpdb

@@ -1,0 +1,37 @@
+#include "core/class_queue.h"
+
+#include <algorithm>
+
+namespace otpdb {
+
+bool ClassQueue::reorder_before_first_pending(TxnRecord* txn) {
+  auto self = std::find(queue_.begin(), queue_.end(), txn);
+  OTPDB_CHECK_MSG(self != queue_.end(), "CC10 on a transaction missing from its queue");
+  const auto old_pos = static_cast<std::size_t>(self - queue_.begin());
+  queue_.erase(self);
+
+  auto first_pending = std::find_if(queue_.begin(), queue_.end(), [](const TxnRecord* t) {
+    return t->deliv == DeliveryState::pending;
+  });
+  const auto new_pos = static_cast<std::size_t>(first_pending - queue_.begin());
+  queue_.insert(first_pending, txn);
+  return new_pos != old_pos;
+}
+
+void ClassQueue::check_invariants() const {
+  bool seen_pending = false;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const TxnRecord* t = queue_[i];
+    if (t->deliv == DeliveryState::pending) {
+      seen_pending = true;
+    } else {
+      OTPDB_CHECK_MSG(!seen_pending, "committable transactions must form a prefix");
+    }
+    if (i > 0) {
+      OTPDB_CHECK_MSG(!t->running && t->exec == ExecState::active,
+                      "only the head may be running or executed");
+    }
+  }
+}
+
+}  // namespace otpdb

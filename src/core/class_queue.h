@@ -1,0 +1,63 @@
+// FIFO class queue with the reordering primitive of the OTP algorithm.
+//
+// One queue exists per conflict class (paper Figure 2). The queue upholds two
+// structural invariants that the correctness-check module relies on:
+//   * committable transactions always form a prefix of the queue (step CC10
+//     inserts newly TO-delivered transactions right after that prefix), and
+//   * only the head may be running or executed.
+#pragma once
+
+#include <deque>
+
+#include "core/txn.h"
+#include "util/assert.h"
+
+namespace otpdb {
+
+class ClassQueue {
+ public:
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+
+  TxnRecord* head() { return queue_.empty() ? nullptr : queue_.front(); }
+  const TxnRecord* head() const { return queue_.empty() ? nullptr : queue_.front(); }
+
+  TxnRecord* at(std::size_t i) { return queue_[i]; }
+  const TxnRecord* at(std::size_t i) const { return queue_[i]; }
+
+  /// Serialization module step S1: append in tentative (Opt-deliver) order.
+  void append(TxnRecord* txn) { queue_.push_back(txn); }
+
+  /// Removes the head (commit path). Pre: txn is the head.
+  void remove_head(TxnRecord* txn) {
+    OTPDB_CHECK(!queue_.empty() && queue_.front() == txn);
+    queue_.pop_front();
+  }
+
+  /// True if the transaction is currently queued.
+  bool contains(const TxnRecord* txn) const {
+    for (const TxnRecord* t : queue_)
+      if (t == txn) return true;
+    return false;
+  }
+
+  /// Correctness-check step CC10: move `txn` directly before the first
+  /// pending transaction, i.e. after the committable prefix. Returns true if
+  /// the transaction actually changed position (a tentative/definitive order
+  /// mismatch among conflicting transactions).
+  bool reorder_before_first_pending(TxnRecord* txn);
+
+  /// Debug validation of the structural invariants (committable prefix; only
+  /// the head running or executed).
+  void check_invariants() const;
+
+  auto begin() { return queue_.begin(); }
+  auto end() { return queue_.end(); }
+  auto begin() const { return queue_.begin(); }
+  auto end() const { return queue_.end(); }
+
+ private:
+  std::deque<TxnRecord*> queue_;
+};
+
+}  // namespace otpdb

@@ -1,0 +1,98 @@
+#include "core/cluster.h"
+
+#include <utility>
+
+#include "util/assert.h"
+
+namespace otpdb {
+
+Cluster::Cluster(ClusterConfig config)
+    : Cluster(std::move(config), [](const ReplicaDeps& deps) {
+        return std::make_unique<OtpReplica>(deps.sim, deps.abcast, deps.store, deps.catalog,
+                                            deps.registry, deps.site);
+      }) {}
+
+Cluster::Cluster(ClusterConfig config, ReplicaFactory factory)
+    : config_(config),
+      rng_(config.seed),
+      catalog_(config.n_classes, config.objects_per_class) {
+  build(std::move(factory));
+}
+
+void Cluster::build(ReplicaFactory factory) {
+  OTPDB_CHECK(config_.n_sites >= 1);
+  net_ = std::make_unique<Network>(sim_, config_.n_sites, config_.net, rng_.split());
+
+  for (SiteId s = 0; s < config_.n_sites; ++s) {
+    fds_.push_back(std::make_unique<FailureDetector>(sim_, *net_, s, config_.fd));
+  }
+  for (SiteId s = 0; s < config_.n_sites; ++s) {
+    switch (config_.abcast) {
+      case AbcastKind::optimistic:
+        abcasts_.push_back(std::make_unique<OptAbcast>(sim_, *net_, *fds_[s], s, config_.opt));
+        break;
+      case AbcastKind::sequencer:
+        abcasts_.push_back(
+            std::make_unique<SequencerAbcast>(sim_, *net_, s, config_.sequencer));
+        break;
+    }
+    stores_.push_back(std::make_unique<VersionedStore>());
+  }
+  for (SiteId s = 0; s < config_.n_sites; ++s) {
+    replicas_.push_back(factory(
+        ReplicaDeps{sim_, *net_, *abcasts_[s], *stores_[s], catalog_, registry_, s}));
+    OTPDB_CHECK(replicas_.back() != nullptr);
+  }
+  if (config_.enable_failure_detector) {
+    for (auto& fd : fds_) fd->start();
+  }
+}
+
+OtpReplica* Cluster::otp(SiteId site) {
+  return dynamic_cast<OtpReplica*>(replicas_[site].get());
+}
+
+void Cluster::recover_site(SiteId site) {
+  OTPDB_CHECK(site < config_.n_sites);
+  auto* replica = otp(site);
+  auto* abcast = dynamic_cast<OptAbcast*>(abcasts_[site].get());
+  OTPDB_CHECK_MSG(replica != nullptr && abcast != nullptr,
+                  "recovery requires the OTP engine over the optimistic broadcast");
+  replica->crash_recover_reset();
+  abcast->crash_reset();
+  net_->recover(site);
+  abcast->begin_recovery();
+}
+
+void Cluster::load_everywhere(ObjectId obj, Value value) {
+  for (auto& store : stores_) store->load(obj, value);
+}
+
+bool Cluster::quiesce(SimTime deadline_span) {
+  const SimTime deadline = sim_.now() + deadline_span;
+  while (sim_.now() < deadline) {
+    bool idle = true;
+    for (const auto& replica : replicas_) idle &= replica->in_flight() == 0;
+    if (idle) return true;
+    run_for(5 * kMillisecond);
+  }
+  bool idle = true;
+  for (const auto& replica : replicas_) idle &= replica->in_flight() == 0;
+  return idle;
+}
+
+std::uint64_t Cluster::total_committed() const {
+  std::uint64_t n = 0;
+  for (const auto& replica : replicas_) n += replica->metrics().committed;
+  return n;
+}
+
+std::size_t Cluster::prune_all_versions() {
+  std::size_t dropped = 0;
+  for (SiteId s = 0; s < config_.n_sites; ++s) {
+    if (OtpReplica* replica = otp(s)) dropped += replica->prune_versions();
+  }
+  return dropped;
+}
+
+}  // namespace otpdb

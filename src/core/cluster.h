@@ -1,0 +1,127 @@
+// Cluster - assembles a full replicated-database system inside one simulator:
+// network segment, failure detectors, atomic broadcast endpoints, versioned
+// stores, and one replica engine per site. This is the top-level object that
+// examples, tests and benches instantiate.
+//
+// The replica engine is pluggable (OTP, conservative, lazy - see
+// src/baseline) through a factory, so every experiment runs the competing
+// engines over an identical substrate.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "abcast/failure_detector.h"
+#include "abcast/opt_abcast.h"
+#include "abcast/sequencer_abcast.h"
+#include "core/otp_replica.h"
+#include "core/replica_base.h"
+#include "db/partition.h"
+#include "db/procedures.h"
+#include "db/versioned_store.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace otpdb {
+
+enum class AbcastKind { optimistic, sequencer };
+
+struct ClusterConfig {
+  std::size_t n_sites = 4;
+  std::size_t n_classes = 8;
+  std::uint64_t objects_per_class = 64;
+  std::uint64_t seed = 1;
+
+  NetConfig net;
+  AbcastKind abcast = AbcastKind::optimistic;
+  OptAbcastConfig opt;
+  SequencerAbcastConfig sequencer;
+  FailureDetectorConfig fd;
+  bool enable_failure_detector = true;
+
+  OtpReplicaConfig otp;
+};
+
+/// Per-site dependencies handed to a replica factory.
+struct ReplicaDeps {
+  Simulator& sim;
+  Network& net;
+  AtomicBroadcast& abcast;
+  VersionedStore& store;
+  const PartitionCatalog& catalog;
+  const ProcedureRegistry& registry;
+  SiteId site;
+};
+
+using ReplicaFactory = std::function<std::unique_ptr<ReplicaBase>(const ReplicaDeps&)>;
+
+class Cluster {
+ public:
+  /// Builds the cluster with the default engine (OTP) at every site.
+  explicit Cluster(ClusterConfig config);
+  /// Builds the cluster with a custom engine factory.
+  Cluster(ClusterConfig config, ReplicaFactory factory);
+
+  Simulator& sim() { return sim_; }
+  Network& net() { return *net_; }
+  const ClusterConfig& config() const { return config_; }
+  const PartitionCatalog& catalog() const { return catalog_; }
+
+  /// Register stored procedures here before submitting work. The registry is
+  /// shared by all sites (procedures are pre-declared and site-independent).
+  ProcedureRegistry& procedures() { return registry_; }
+
+  std::size_t site_count() const { return config_.n_sites; }
+  ReplicaBase& replica(SiteId site) { return *replicas_[site]; }
+  VersionedStore& store(SiteId site) { return *stores_[site]; }
+  AtomicBroadcast& abcast(SiteId site) { return *abcasts_[site]; }
+  FailureDetector& failure_detector(SiteId site) { return *fds_[site]; }
+
+  /// The OTP view of a replica, or nullptr if a different engine runs there.
+  OtpReplica* otp(SiteId site);
+
+  /// Loads an initial value at every site's store (index-0 version).
+  void load_everywhere(ObjectId obj, Value value);
+
+  /// Runs the simulation for a fixed span of simulated time.
+  void run_for(SimTime span) { sim_.run_until(sim_.now() + span); }
+
+  /// Crashes a site: it stops sending and receiving; its volatile replica and
+  /// protocol state is considered lost (cleared on recovery).
+  void crash_site(SiteId site) { net_->crash(site); }
+
+  /// Recovers a crashed site (paper model: sites always recover). Clears the
+  /// volatile state, reconnects the network, and starts redo catch-up from
+  /// the peers' decision logs. Requires the OTP engine over the optimistic
+  /// broadcast (the sequencer protocol has no recovery path).
+  void recover_site(SiteId site);
+
+  /// Runs until every replica reports zero in-flight work or `deadline_span`
+  /// elapses. Returns true if the cluster quiesced.
+  bool quiesce(SimTime deadline_span = 30 * kSecond);
+
+  /// Sum of committed transactions across sites / per-site metrics access.
+  std::uint64_t total_committed() const;
+
+  /// Runs version garbage collection at every OTP site. Returns total
+  /// versions dropped (non-OTP engines are skipped).
+  std::size_t prune_all_versions();
+
+ private:
+  void build(ReplicaFactory factory);
+
+  ClusterConfig config_;
+  Simulator sim_;
+  Rng rng_;
+  PartitionCatalog catalog_;
+  ProcedureRegistry registry_;
+  std::unique_ptr<Network> net_;
+  std::vector<std::unique_ptr<FailureDetector>> fds_;
+  std::vector<std::unique_ptr<AtomicBroadcast>> abcasts_;
+  std::vector<std::unique_ptr<VersionedStore>> stores_;
+  std::vector<std::unique_ptr<ReplicaBase>> replicas_;
+};
+
+}  // namespace otpdb

@@ -1,0 +1,261 @@
+#include "core/lock_table_replica.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.h"
+#include "util/log.h"
+
+namespace otpdb {
+
+AccessSetExtractor rmw_access_extractor(const PartitionCatalog& catalog) {
+  return [&catalog](ClassId klass, const TxnArgs& args) {
+    std::vector<ObjectId> objects;
+    objects.reserve(args.ints.size() > 0 ? args.ints.size() - 1 : 0);
+    for (std::size_t i = 1; i < args.ints.size(); ++i) {
+      const ObjectId obj = catalog.object(klass, static_cast<std::uint64_t>(args.ints[i]));
+      if (std::find(objects.begin(), objects.end(), obj) == objects.end()) {
+        objects.push_back(obj);
+      }
+    }
+    return objects;
+  };
+}
+
+LockTableReplica::LockTableReplica(Simulator& sim, AtomicBroadcast& abcast,
+                                   VersionedStore& store, const PartitionCatalog& catalog,
+                                   const ProcedureRegistry& registry, SiteId self,
+                                   AccessSetExtractor extractor)
+    : sim_(sim),
+      abcast_(abcast),
+      store_(store),
+      catalog_(catalog),
+      registry_(registry),
+      self_(self),
+      extractor_(std::move(extractor)),
+      queries_(sim, store, catalog.object_count(),
+               [](ObjectId obj) { return QueryEngine::Domain{obj}; }, metrics_) {
+  OTPDB_CHECK(extractor_ != nullptr);
+  abcast_.set_callbacks(AbcastCallbacks{
+      [this](const Message& msg) { on_opt_deliver(msg); },
+      [this](const MsgId& id, TOIndex index) { on_to_deliver(id, index); },
+  });
+}
+
+void LockTableReplica::submit_update(ProcId proc, ClassId klass, TxnArgs args,
+                                     SimTime exec_duration) {
+  std::vector<ObjectId> access_set = extractor_(klass, args);
+  submit_update_with_access(proc, klass, std::move(access_set), std::move(args), exec_duration);
+}
+
+void LockTableReplica::submit_update_with_access(ProcId proc, ClassId klass,
+                                                 std::vector<ObjectId> access_set, TxnArgs args,
+                                                 SimTime exec_duration) {
+  OTPDB_CHECK_MSG(!access_set.empty(), "a transaction must declare at least one object");
+  auto request = std::make_shared<TxnRequest>();
+  request->proc = proc;
+  request->klass = klass;
+  request->args = std::move(args);
+  request->origin = self_;
+  request->client_seq = next_client_seq_++;
+  request->submitted_at = sim_.now();
+  request->exec_duration = exec_duration;
+  request->access_set = std::move(access_set);
+  ++metrics_.submitted_updates;
+  abcast_.broadcast(std::move(request));
+}
+
+void LockTableReplica::submit_query(QueryFn fn, SimTime exec_duration, QueryDoneFn done) {
+  queries_.submit(std::move(fn), exec_duration, std::move(done));
+}
+
+std::size_t LockTableReplica::queue_length(ObjectId obj) const {
+  auto it = queues_.find(obj);
+  return it == queues_.end() ? 0 : it->second.size();
+}
+
+// ---------------------------------------------------------------------------
+// Serialization (Opt-deliver): enter all object queues atomically.
+// ---------------------------------------------------------------------------
+
+void LockTableReplica::on_opt_deliver(const Message& msg) {
+  auto request = std::dynamic_pointer_cast<const TxnRequest>(msg.payload);
+  OTPDB_CHECK_MSG(request != nullptr, "data channel carried a non-transaction payload");
+  OTPDB_CHECK_MSG(!request->access_set.empty(),
+                  "lock-table engine requires pre-declared access sets");
+  auto record = std::make_unique<TxnRecord>();
+  TxnRecord* txn = record.get();
+  txn->id = msg.id;
+  txn->request = std::move(request);
+  txn->opt_delivered_at = sim_.now();
+  const auto [it, inserted] = txns_.emplace(msg.id, std::move(record));
+  OTPDB_CHECK_MSG(inserted, "duplicate Opt-delivery");
+
+  for (ObjectId obj : txn->request->access_set) queues_[obj].push_back(txn);
+  try_execute(txn);
+}
+
+bool LockTableReplica::heads_all_queues(const TxnRecord* txn) const {
+  for (ObjectId obj : txn->request->access_set) {
+    const auto& queue = queues_.at(obj);
+    OTPDB_ASSERT(!queue.empty());
+    if (queue.front() != txn) return false;
+  }
+  return true;
+}
+
+void LockTableReplica::try_execute(TxnRecord* txn) {
+  if (txn->running || txn->exec != ExecState::active) return;
+  if (!heads_all_queues(txn)) return;
+  txn->running = true;
+  ++txn->attempts;
+  if (txn->attempts > 1) ++metrics_.reexecutions;
+  TxnContext ctx(store_, txn->request->access_set, txn->id, txn->request->klass,
+                 txn->request->args);
+  registry_.get(txn->request->proc)(ctx);
+  txn->last_reads = ctx.reads();
+  txn->last_writes = ctx.writes();
+  txn->completion =
+      sim_.schedule_after(txn->request->exec_duration, [this, txn] { execution_complete(txn); });
+}
+
+// ---------------------------------------------------------------------------
+// Execution completion (Figure 5 generalized).
+// ---------------------------------------------------------------------------
+
+void LockTableReplica::execution_complete(TxnRecord* txn) {
+  txn->running = false;
+  txn->executed_at = sim_.now();
+  txn->exec = ExecState::executed;
+  if (txn->deliv == DeliveryState::committable) commit(txn);
+}
+
+// ---------------------------------------------------------------------------
+// Correctness check (Figure 6 generalized to object queues).
+// ---------------------------------------------------------------------------
+
+void LockTableReplica::reorder_before_first_pending(ObjectQueue& queue, TxnRecord* txn) {
+  auto self = std::find(queue.begin(), queue.end(), txn);
+  OTPDB_CHECK(self != queue.end());
+  queue.erase(self);
+  auto first_pending = std::find_if(queue.begin(), queue.end(), [](const TxnRecord* t) {
+    return t->deliv == DeliveryState::pending;
+  });
+  queue.insert(first_pending, txn);
+}
+
+void LockTableReplica::on_to_deliver(const MsgId& id, TOIndex index) {
+  auto it = txns_.find(id);
+  OTPDB_CHECK_MSG(it != txns_.end(), "TO-delivery without prior Opt-delivery");
+  TxnRecord* txn = it->second.get();
+  txn->to_index = index;
+  txn->to_delivered_at = sim_.now();
+  queries_.advance_to_index(index);
+  for (ObjectId obj : txn->request->access_set) {
+    queries_.note_to_delivered(QueryEngine::Domain{obj}, index);
+  }
+  metrics_.opt_to_gap_ns.add(static_cast<double>(txn->to_delivered_at - txn->opt_delivered_at));
+
+  if (txn->exec == ExecState::executed && heads_all_queues(txn)) {
+    txn->deliv = DeliveryState::committable;
+    commit(txn);
+    return;
+  }
+  txn->deliv = DeliveryState::committable;
+
+  // Undo every wrongly ordered predecessor: a *pending* transaction that sits
+  // before T in one of T's queues but has already produced (or is producing)
+  // effects. Its undo is a rollback of private provisional versions, so no
+  // cascades. It re-executes after the committable prefix commits.
+  bool moved = false;
+  for (ObjectId obj : txn->request->access_set) {
+    ObjectQueue& queue = queues_.at(obj);
+    for (TxnRecord* other : queue) {
+      if (other == txn) break;
+      if (other->deliv == DeliveryState::pending &&
+          (other->running || other->exec == ExecState::executed)) {
+        abort_transaction(other);
+      }
+    }
+    const TxnRecord* old_front = queue.front();
+    reorder_before_first_pending(queue, txn);
+    moved |= queue.front() != old_front || queue.front() == txn;
+  }
+  if (moved) ++metrics_.mismatch_reorders;
+
+  try_execute(txn);
+}
+
+void LockTableReplica::abort_transaction(TxnRecord* txn) {
+  OTPDB_CHECK(txn->deliv == DeliveryState::pending);
+  if (txn->running) {
+    sim_.cancel(txn->completion);
+    txn->running = false;
+  }
+  store_.abort(txn->id);
+  txn->exec = ExecState::active;
+  ++metrics_.aborts;
+}
+
+// ---------------------------------------------------------------------------
+// Commit.
+// ---------------------------------------------------------------------------
+
+void LockTableReplica::commit(TxnRecord* txn) {
+  OTPDB_CHECK(txn->exec == ExecState::executed);
+  OTPDB_CHECK(txn->deliv == DeliveryState::committable);
+  OTPDB_CHECK(txn->to_index > 0);
+  OTPDB_CHECK(heads_all_queues(txn));
+
+  txn->committed_at = sim_.now();
+  CommitRecord record;
+  record.site = self_;
+  record.txn = txn->id;
+  record.proc = txn->request->proc;
+  record.klass = txn->request->klass;
+  record.index = txn->to_index;
+  record.at = txn->committed_at;
+  record.writes = store_.provisional_writes(txn->id);
+  record.reads = txn->last_reads;
+
+  store_.commit(txn->id, txn->to_index);
+  const std::vector<ObjectId> objects = txn->request->access_set;
+  for (ObjectId obj : objects) {
+    ObjectQueue& queue = queues_.at(obj);
+    OTPDB_CHECK(queue.front() == txn);
+    queue.erase(queue.begin());
+    queries_.note_committed(QueryEngine::Domain{obj}, txn->to_index);
+    if (queue.empty()) queues_.erase(obj);
+  }
+
+  ++metrics_.committed;
+  if (txn->request->origin == self_) {
+    const double latency = static_cast<double>(txn->committed_at - txn->request->submitted_at);
+    metrics_.commit_latency_ns.add(latency);
+    metrics_.commit_latency_percentiles_ns.add(latency);
+  }
+  metrics_.commit_wait_ns.add(static_cast<double>(txn->committed_at - txn->executed_at));
+  if (commit_hook_) commit_hook_(record);
+  txns_.erase(txn->id);  // txn dangles beyond this point
+
+  try_execute_heads_of(objects);
+}
+
+void LockTableReplica::try_execute_heads_of(const std::vector<ObjectId>& objects) {
+  // Removing (or reordering around) a transaction may have promoted the
+  // heads of these queues to hold-all-locks status.
+  for (ObjectId obj : objects) {
+    auto it = queues_.find(obj);
+    if (it == queues_.end() || it->second.empty()) continue;
+    TxnRecord* head = it->second.front();
+    try_execute(head);
+    // An executed+committable head that was waiting for this commit to reach
+    // the front of every queue can now commit.
+    if (head->exec == ExecState::executed && head->deliv == DeliveryState::committable &&
+        !head->running && heads_all_queues(head)) {
+      commit(head);
+    }
+  }
+}
+
+}  // namespace otpdb

@@ -1,0 +1,35 @@
+// Per-replica metrics collected during a run.
+#pragma once
+
+#include <cstdint>
+
+#include "util/stats.h"
+
+namespace otpdb {
+
+struct ReplicaMetrics {
+  // Update-transaction path.
+  std::uint64_t submitted_updates = 0;  ///< client requests accepted at this site
+  std::uint64_t committed = 0;          ///< transactions committed at this site
+  std::uint64_t aborts = 0;             ///< CC8 undo events (wrongly ordered head)
+  std::uint64_t reexecutions = 0;       ///< submissions beyond a txn's first
+  std::uint64_t mismatch_reorders = 0;  ///< CC10 moved a transaction (conflicting mismatch)
+
+  /// Client-visible commit latency at the origin site (submit -> local commit).
+  OnlineStats commit_latency_ns;
+  /// Same samples, kept exactly for tail percentiles (p95/p99 in the benches).
+  PercentileTracker commit_latency_percentiles_ns;
+  /// Gap between local execution completion and commit (waiting for TO-deliver);
+  /// ~0 means the ordering latency was fully hidden behind execution.
+  OnlineStats commit_wait_ns;
+  /// Gap between Opt-deliver and TO-deliver per transaction (the optimistic window).
+  OnlineStats opt_to_gap_ns;
+
+  // Query path (Section 5).
+  std::uint64_t queries_started = 0;
+  std::uint64_t queries_done = 0;
+  std::uint64_t query_retries = 0;  ///< re-runs because a snapshot version was in flight
+  OnlineStats query_latency_ns;
+};
+
+}  // namespace otpdb

@@ -1,0 +1,253 @@
+#include "core/otp_replica.h"
+
+#include <utility>
+
+#include "util/assert.h"
+#include "util/log.h"
+
+namespace otpdb {
+
+OtpReplica::OtpReplica(Simulator& sim, AtomicBroadcast& abcast, VersionedStore& store,
+                       const PartitionCatalog& catalog, const ProcedureRegistry& registry,
+                       SiteId self, OtpReplicaConfig config)
+    : sim_(sim),
+      abcast_(abcast),
+      store_(store),
+      catalog_(catalog),
+      registry_(registry),
+      self_(self),
+      config_(config),
+      queues_(catalog.class_count()),
+      queries_(sim, store, catalog, metrics_) {
+  abcast_.set_callbacks(AbcastCallbacks{
+      [this](const Message& msg) { on_opt_deliver(msg); },
+      [this](const MsgId& id, TOIndex index) { on_to_deliver(id, index); },
+  });
+}
+
+void OtpReplica::submit_update(ProcId proc, ClassId klass, TxnArgs args, SimTime exec_duration) {
+  OTPDB_CHECK(klass < catalog_.class_count());
+  auto request = std::make_shared<TxnRequest>();
+  request->proc = proc;
+  request->klass = klass;
+  request->args = std::move(args);
+  request->origin = self_;
+  request->client_seq = next_client_seq_++;
+  request->submitted_at = sim_.now();
+  request->exec_duration = exec_duration;
+  ++metrics_.submitted_updates;
+  abcast_.broadcast(std::move(request));
+}
+
+void OtpReplica::submit_query(QueryFn fn, SimTime exec_duration, QueryDoneFn done) {
+  queries_.submit(std::move(fn), exec_duration, std::move(done));
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4: serialization module (upon Opt-delivery of transaction T_i)
+// ---------------------------------------------------------------------------
+
+void OtpReplica::on_opt_deliver(const Message& msg) {
+  auto request = std::dynamic_pointer_cast<const TxnRequest>(msg.payload);
+  OTPDB_CHECK_MSG(request != nullptr, "data channel carried a non-transaction payload");
+  auto record = std::make_unique<TxnRecord>();
+  TxnRecord* txn = record.get();
+  txn->id = msg.id;
+  txn->request = std::move(request);
+  txn->opt_delivered_at = sim_.now();
+  const auto [it, inserted] = txns_.emplace(msg.id, std::move(record));
+  OTPDB_CHECK_MSG(inserted, "duplicate Opt-delivery");
+  serialization_module(txn);
+}
+
+void OtpReplica::serialization_module(TxnRecord* txn) {
+  ClassQueue& queue = queues_[txn->request->klass];
+  queue.append(txn);                    // S1: append to the corresponding queue
+  txn->deliv = DeliveryState::pending;  // S2: mark pending and active
+  txn->exec = ExecState::active;
+  if (queue.size() == 1) {  // S3: alone in its class?
+    submit_execution(txn);  // S4: submit the execution
+  }
+  if (config_.paranoid_checks) check_invariants(txn->request->klass);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: execution module (upon complete execution of transaction T_i)
+// ---------------------------------------------------------------------------
+
+void OtpReplica::execution_module(TxnRecord* txn) {
+  txn->running = false;
+  txn->executed_at = sim_.now();
+  if (txn->deliv == DeliveryState::committable) {  // E1: marked committable?
+    txn->exec = ExecState::executed;
+    commit(txn);  // E2-E3: commit, start next
+  } else {
+    txn->exec = ExecState::executed;  // E5: mark executed
+    if (config_.paranoid_checks) check_invariants(txn->request->klass);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6: correctness check module (upon TO-delivery of transaction T_i)
+// ---------------------------------------------------------------------------
+
+void OtpReplica::on_to_deliver(const MsgId& id, TOIndex index) {
+  auto it = txns_.find(id);
+  // CC1: the entry must exist - Local Order guarantees Opt-deliver came first.
+  OTPDB_CHECK_MSG(it != txns_.end(), "TO-delivery without prior Opt-delivery");
+  TxnRecord* txn = it->second.get();
+  txn->to_index = index;
+  txn->to_delivered_at = sim_.now();
+  queries_.note_to_delivered(txn->request->klass, index);
+
+  // Crash-recovery replay: a TO-delivery at or below the class's durable
+  // commit watermark was already committed before the crash - acknowledge it
+  // without re-executing (its versions are in the store). The queue handling
+  // mirrors CC7-CC12: a wrongly ordered live head is undone, the replayed
+  // transaction surfaces to the head, and is then silently retired.
+  if (index <= queries_.last_committed(txn->request->klass)) {
+    ClassQueue& queue = queues_[txn->request->klass];
+    txn->deliv = DeliveryState::committable;
+    if (txn->running) {
+      sim_.cancel(txn->completion);
+      txn->running = false;
+    }
+    store_.abort(txn->id);  // drop any provisional re-execution of replayed work
+    TxnRecord* head = queue.head();
+    if (head != txn && head->deliv == DeliveryState::pending) abort_transaction(head);
+    queue.reorder_before_first_pending(txn);
+    // Replayed indices precede every live transaction's index, so no
+    // committable transaction can sit ahead of this one.
+    OTPDB_CHECK(queue.head() == txn);
+    queue.remove_head(txn);
+    txns_.erase(id);
+    if (TxnRecord* next = queue.head();
+        next && !next->running && next->exec == ExecState::active) {
+      submit_execution(next);
+    }
+    return;
+  }
+
+  metrics_.opt_to_gap_ns.add(static_cast<double>(txn->to_delivered_at - txn->opt_delivered_at));
+  correctness_check_module(txn);
+}
+
+void OtpReplica::crash_recover_reset() {
+  for (auto& [id, txn] : txns_) {
+    if (txn->running) sim_.cancel(txn->completion);
+  }
+  txns_.clear();
+  for (auto& queue : queues_) queue = ClassQueue{};
+  store_.clear_provisional();
+  queries_.reset_volatile();
+}
+
+void OtpReplica::correctness_check_module(TxnRecord* txn) {
+  const ClassId klass = txn->request->klass;
+  ClassQueue& queue = queues_[klass];
+  OTPDB_ASSERT(queue.contains(txn));
+
+  if (txn->exec == ExecState::executed) {  // CC2 (can only be the head)
+    OTPDB_CHECK(queue.head() == txn);
+    txn->deliv = DeliveryState::committable;
+    commit(txn);  // CC3-CC4
+    return;
+  }
+  txn->deliv = DeliveryState::committable;  // CC6
+  TxnRecord* head = queue.head();
+  if (head != txn && head->deliv == DeliveryState::pending) {  // CC7
+    abort_transaction(head);                                   // CC8
+  }
+  const bool moved = queue.reorder_before_first_pending(txn);  // CC10
+  if (moved) ++metrics_.mismatch_reorders;
+  if (queue.head() == txn && !txn->running) {  // CC11 (unless already executing)
+    submit_execution(txn);                     // CC12
+  }
+  if (config_.paranoid_checks) check_invariants(klass);
+}
+
+// ---------------------------------------------------------------------------
+// Execution, abort (undo), commit
+// ---------------------------------------------------------------------------
+
+void OtpReplica::submit_execution(TxnRecord* txn) {
+  OTPDB_CHECK(!txn->running);
+  OTPDB_CHECK(txn->exec == ExecState::active);
+  OTPDB_CHECK(queues_[txn->request->klass].head() == txn);
+  txn->running = true;
+  ++txn->attempts;
+  if (txn->attempts > 1) ++metrics_.reexecutions;
+  // Apply the stored procedure's effects as provisional versions now; the
+  // completion event models the execution cost. An abort in between rolls the
+  // provisional versions back, exactly like undo-based recovery.
+  TxnContext ctx(store_, catalog_, txn->id, txn->request->klass, txn->request->args);
+  registry_.get(txn->request->proc)(ctx);
+  txn->last_reads = ctx.reads();
+  txn->last_writes = ctx.writes();
+  txn->completion =
+      sim_.schedule_after(txn->request->exec_duration, [this, txn] { execution_module(txn); });
+}
+
+void OtpReplica::abort_transaction(TxnRecord* txn) {
+  // CC8 preconditions: the wrongly ordered transaction is the pending head.
+  OTPDB_CHECK(txn->deliv == DeliveryState::pending);
+  OTPDB_CHECK(queues_[txn->request->klass].head() == txn);
+  if (txn->running) {
+    sim_.cancel(txn->completion);
+    txn->running = false;
+  }
+  store_.abort(txn->id);  // undo provisional effects
+  txn->exec = ExecState::active;
+  ++metrics_.aborts;
+  OTPDB_TRACE("otp") << "site " << self_ << " aborts txn (" << txn->id.sender << ","
+                     << txn->id.seq << ") for rescheduling";
+}
+
+void OtpReplica::commit(TxnRecord* txn) {
+  OTPDB_CHECK(txn->exec == ExecState::executed);
+  OTPDB_CHECK(txn->deliv == DeliveryState::committable);
+  OTPDB_CHECK(txn->to_index > 0);
+  const ClassId klass = txn->request->klass;
+  ClassQueue& queue = queues_[klass];
+  OTPDB_CHECK(queue.head() == txn);
+
+  txn->committed_at = sim_.now();
+  CommitRecord record;
+  record.site = self_;
+  record.txn = txn->id;
+  record.proc = txn->request->proc;
+  record.klass = klass;
+  record.index = txn->to_index;
+  record.at = txn->committed_at;
+  record.writes = store_.provisional_writes(txn->id);
+  record.reads = txn->last_reads;
+
+  store_.commit(txn->id, txn->to_index);
+  queue.remove_head(txn);
+
+  ++metrics_.committed;
+  if (txn->request->origin == self_) {
+    const double latency = static_cast<double>(txn->committed_at - txn->request->submitted_at);
+    metrics_.commit_latency_ns.add(latency);
+    metrics_.commit_latency_percentiles_ns.add(latency);
+  }
+  // Time spent fully executed but waiting for the definitive order: the part
+  // of the broadcast's coordination cost the overlap failed to hide.
+  metrics_.commit_wait_ns.add(static_cast<double>(txn->committed_at - txn->executed_at));
+  if (commit_hook_) commit_hook_(record);
+
+  const TOIndex committed_index = txn->to_index;
+  txns_.erase(txn->id);  // txn dangles beyond this point
+
+  // E3/CC4: start executing the next transaction in the class queue.
+  if (TxnRecord* next = queue.head()) {
+    OTPDB_CHECK(!next->running && next->exec == ExecState::active);
+    submit_execution(next);
+  }
+  queries_.note_committed(klass, committed_index);
+  if (config_.paranoid_checks) check_invariants(klass);
+}
+
+void OtpReplica::check_invariants(ClassId klass) const { queues_[klass].check_invariants(); }
+
+}  // namespace otpdb

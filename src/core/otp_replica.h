@@ -1,0 +1,122 @@
+// OtpReplica - the OTP algorithm for optimistic transaction processing
+// (paper Section 3, Figures 4-6).
+//
+// One OtpReplica runs at each site, wired to that site's atomic-broadcast
+// endpoint and versioned store. The three algorithm modules are methods
+// driven by events, exactly as the paper frames them ("steps in the lifetime
+// of a transaction", not threads):
+//
+//   Serialization module (Figure 4)    <- Opt-deliver
+//     S1 append to the class queue, S2 mark pending+active,
+//     S3-S5 submit for execution if alone in the queue.
+//
+//   Execution module (Figure 5)        <- execution completion
+//     E1-E3 commit if already committable and start the next transaction,
+//     E4-E6 otherwise mark executed.
+//
+//   Correctness check module (Figure 6) <- TO-deliver
+//     CC1-CC4 commit an executed head, else
+//     CC5-CC13 mark committable, abort a wrongly ordered pending head (undo
+//     via the store's provisional-version rollback), reorder before the first
+//     pending transaction, and resubmit if now at the head.
+//
+// Update transactions are TO-broadcast (read-one/write-all replica control,
+// Section 2.4); queries run locally on snapshots (Section 5, QueryEngine).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "abcast/abcast.h"
+#include "core/class_queue.h"
+#include "core/metrics.h"
+#include "core/query.h"
+#include "core/query_engine.h"
+#include "core/replica_base.h"
+#include "core/txn.h"
+#include "db/partition.h"
+#include "db/procedures.h"
+#include "db/versioned_store.h"
+#include "sim/simulator.h"
+
+namespace otpdb {
+
+struct OtpReplicaConfig {
+  /// Validate queue invariants after every module step (debug/property tests).
+  bool paranoid_checks = false;
+};
+
+class OtpReplica final : public ReplicaBase {
+ public:
+  OtpReplica(Simulator& sim, AtomicBroadcast& abcast, VersionedStore& store,
+             const PartitionCatalog& catalog, const ProcedureRegistry& registry, SiteId self,
+             OtpReplicaConfig config = {});
+
+  // ReplicaBase:
+  void submit_update(ProcId proc, ClassId klass, TxnArgs args, SimTime exec_duration) override;
+  void submit_query(QueryFn fn, SimTime exec_duration, QueryDoneFn done) override;
+  const ReplicaMetrics& metrics() const override { return metrics_; }
+  SiteId site() const override { return self_; }
+
+  /// Commit hook for history recording (checker) - invoked at every commit.
+  void set_commit_hook(CommitHook hook) override { commit_hook_ = std::move(hook); }
+
+  /// Transactions not yet committed plus queries not yet answered.
+  std::size_t in_flight() const override {
+    return txns_.size() + (metrics_.queries_started - metrics_.queries_done);
+  }
+
+  /// Introspection for tests: the class queue of `klass`.
+  const ClassQueue& class_queue(ClassId klass) const { return queues_[klass]; }
+  /// Highest definitive index processed at this site.
+  TOIndex last_to_index() const { return queries_.last_to_index(); }
+
+  /// Garbage-collects versions no active or future snapshot can reach.
+  /// Returns the number of versions dropped. Safe to call at any time.
+  std::size_t prune_versions() { return store_.prune(queries_.gc_horizon()); }
+
+  // Direct event entry points (public so unit tests can drive the modules
+  // without a network; production wiring goes through the abcast callbacks).
+  void on_opt_deliver(const Message& msg);
+  void on_to_deliver(const MsgId& id, TOIndex index);
+
+  /// Crash recovery: drops all volatile state (class queues, in-flight
+  /// transactions and their scheduled completions, provisional writes,
+  /// TO-delivery history). Committed versions and the per-class commit
+  /// watermarks survive; during the redo replay, TO-deliveries at or below a
+  /// class watermark are acknowledged without re-execution.
+  void crash_recover_reset();
+
+ private:
+  // -- Figure 4: serialization module ---------------------------------------
+  void serialization_module(TxnRecord* txn);
+  // -- Figure 5: execution module --------------------------------------------
+  void execution_module(TxnRecord* txn);
+  // -- Figure 6: correctness check module ------------------------------------
+  void correctness_check_module(TxnRecord* txn);
+
+  void submit_execution(TxnRecord* txn);
+  void abort_transaction(TxnRecord* txn);  // CC8: undo a wrongly ordered head
+  void commit(TxnRecord* txn);
+
+  void check_invariants(ClassId klass) const;
+
+  Simulator& sim_;
+  AtomicBroadcast& abcast_;
+  VersionedStore& store_;
+  const PartitionCatalog& catalog_;
+  const ProcedureRegistry& registry_;
+  SiteId self_;
+  OtpReplicaConfig config_;
+
+  std::vector<ClassQueue> queues_;
+  std::unordered_map<MsgId, std::unique_ptr<TxnRecord>> txns_;
+
+  std::uint64_t next_client_seq_ = 0;
+  ReplicaMetrics metrics_;
+  QueryEngine queries_;
+  CommitHook commit_hook_;
+};
+
+}  // namespace otpdb

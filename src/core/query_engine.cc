@@ -1,0 +1,123 @@
+#include "core/query_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace otpdb {
+
+QueryEngine::QueryEngine(Simulator& sim, const VersionedStore& store,
+                         const PartitionCatalog& catalog, ReplicaMetrics& metrics)
+    : QueryEngine(sim, store, catalog.class_count(),
+                  [&catalog](ObjectId obj) { return Domain{catalog.class_of(obj)}; }, metrics) {}
+
+QueryEngine::QueryEngine(Simulator& sim, const VersionedStore& store, std::size_t domain_count,
+                         DomainOf domain_of, ReplicaMetrics& metrics)
+    : sim_(sim),
+      store_(store),
+      domain_of_(std::move(domain_of)),
+      metrics_(metrics),
+      to_history_(domain_count),
+      last_committed_(domain_count, 0) {}
+
+void QueryEngine::submit(QueryFn fn, SimTime exec_duration, QueryDoneFn done) {
+  auto query = std::make_shared<RunningQuery>();
+  query->fn = std::move(fn);
+  query->done = std::move(done);
+  query->snapshot = last_to_index_;  // the "i" of the paper's index "i.5"
+  query->submitted_at = sim_.now();
+  ++metrics_.queries_started;
+  ++active_snapshots_[query->snapshot];
+  sim_.schedule_after(exec_duration, [this, query] { run(query); });
+}
+
+void QueryEngine::advance_to_index(TOIndex index) {
+  OTPDB_CHECK(index > last_to_index_);
+  last_to_index_ = index;
+}
+
+void QueryEngine::note_to_delivered(Domain domain, TOIndex index) {
+  if (index > last_to_index_) advance_to_index(index);
+  auto& history = to_history_[domain];
+  OTPDB_ASSERT(history.empty() || history.back() < index);
+  history.push_back(index);
+}
+
+void QueryEngine::note_committed(Domain domain, TOIndex index) {
+  OTPDB_ASSERT(last_committed_[domain] < index);
+  last_committed_[domain] = index;
+  wake_waiters(index);
+}
+
+void QueryEngine::wake_waiters(TOIndex index) {
+  auto it = waiters_.find(index);
+  if (it == waiters_.end()) return;
+  std::vector<std::shared_ptr<RunningQuery>> ready = std::move(it->second);
+  waiters_.erase(it);
+  for (auto& q : ready) run(std::move(q));
+}
+
+void QueryEngine::reset_volatile() {
+  for (auto& history : to_history_) history.clear();
+  last_to_index_ = 0;
+  waiters_.clear();
+  active_snapshots_.clear();
+}
+
+TOIndex QueryEngine::gc_horizon() const {
+  // The oldest snapshot still readable is q_min = min(active, last_to_index);
+  // a read at q_min needs the newest version with index <= q_min, which
+  // VersionedStore::prune(h) preserves when h = q_min + 1 (it keeps the
+  // newest version strictly below the horizon).
+  const TOIndex q_min = active_snapshots_.empty()
+                            ? last_to_index_
+                            : std::min(last_to_index_, active_snapshots_.begin()->first);
+  return q_min + 1;
+}
+
+TOIndex QueryEngine::snapshot_bound(Domain domain, TOIndex snapshot) const {
+  const auto& history = to_history_[domain];
+  auto it = std::upper_bound(history.begin(), history.end(), snapshot);
+  return it == history.begin() ? 0 : *std::prev(it);
+}
+
+Value QueryEngine::read(ObjectId obj, TOIndex snapshot) const {
+  const Domain domain = domain_of_(obj);
+  OTPDB_CHECK_MSG(domain < to_history_.size(), "query read outside the catalogued objects");
+  const TOIndex bound = snapshot_bound(domain, snapshot);
+  if (bound > last_committed_[domain]) {
+    // The version this snapshot must observe is TO-delivered but its commit
+    // is still in flight locally: the query has to wait for it.
+    throw detail::SnapshotNotReady{static_cast<ClassId>(domain), bound};
+  }
+  return store_.read_snapshot(obj, snapshot).value_or(Value{std::int64_t{0}});
+}
+
+void QueryEngine::run(std::shared_ptr<RunningQuery> query) {
+  ++query->attempts;
+  if (query->attempts > 1) ++metrics_.query_retries;
+  QueryContext ctx(query->snapshot,
+                   [this](ObjectId obj, TOIndex snapshot) { return read(obj, snapshot); });
+  try {
+    query->fn(ctx);
+  } catch (const detail::SnapshotNotReady& wait) {
+    waiters_[wait.index].push_back(std::move(query));
+    return;
+  }
+  ++metrics_.queries_done;
+  auto active = active_snapshots_.find(query->snapshot);
+  if (active != active_snapshots_.end() && --active->second == 0) {
+    active_snapshots_.erase(active);
+  }
+  QueryReport report;
+  report.snapshot_index = query->snapshot;
+  report.submitted_at = query->submitted_at;
+  report.completed_at = sim_.now();
+  report.attempts = query->attempts;
+  report.reads = ctx.reads();
+  metrics_.query_latency_ns.add(static_cast<double>(report.completed_at - report.submitted_at));
+  if (query->done) query->done(report);
+}
+
+}  // namespace otpdb

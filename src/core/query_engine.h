@@ -1,0 +1,108 @@
+// Shared snapshot-query machinery (paper Section 5), used by every engine
+// that processes update transactions in definitive order (OTP, the
+// conservative baseline, and the fine-granularity lock-table engine).
+//
+// The engine tracks state per *conflict domain*. For the class-queue engines
+// a domain is a conflict class (the paper's model); for the lock-table engine
+// a domain is a single object. Per domain it records the definitive indices
+// TO-delivered at this site and the last locally committed index. A query
+// started after the i-th TO-delivery reads snapshot "i.5": for each domain it
+// observes the version written by the youngest domain transaction with
+// definitive index <= i, waiting for that transaction's local commit when it
+// is still in flight.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/query.h"
+#include "db/partition.h"
+#include "db/versioned_store.h"
+#include "sim/simulator.h"
+
+namespace otpdb {
+
+class QueryEngine {
+ public:
+  /// Domain identifier: a conflict class, or a dense object index.
+  using Domain = std::uint64_t;
+  using DomainOf = std::function<Domain(ObjectId)>;
+
+  /// Class-granularity engine (paper Section 2.3): domain = conflict class.
+  QueryEngine(Simulator& sim, const VersionedStore& store, const PartitionCatalog& catalog,
+              ReplicaMetrics& metrics);
+
+  /// Generic engine: `domain_of` maps objects to [0, domain_count) domains.
+  QueryEngine(Simulator& sim, const VersionedStore& store, std::size_t domain_count,
+              DomainOf domain_of, ReplicaMetrics& metrics);
+
+  /// Client entry point: runs `fn` against the current snapshot after
+  /// `exec_duration` of simulated work; `done` receives the report.
+  void submit(QueryFn fn, SimTime exec_duration, QueryDoneFn done);
+
+  /// Engine notification: a transaction covering `domain` was TO-delivered
+  /// with `index`. For multi-domain transactions call once per domain after a
+  /// single advance_to_index().
+  void note_to_delivered(Domain domain, TOIndex index);
+
+  /// Advances the site's highest processed definitive index (call exactly
+  /// once per TO-delivery, before the per-domain notifications).
+  void advance_to_index(TOIndex index);
+
+  /// Engine notification: a transaction covering `domain` committed with
+  /// `index`. Wakes queries that were waiting on that commit.
+  void note_committed(Domain domain, TOIndex index);
+  /// Wakes queries waiting on `index` without touching domain watermarks
+  /// (multi-domain commit: call after per-domain note_committed calls).
+  void wake_waiters(TOIndex index);
+
+  /// Highest definitive index processed at this site.
+  TOIndex last_to_index() const { return last_to_index_; }
+
+  /// j = max{k <= snapshot : T_k covers domain}, 0 when no such txn exists.
+  TOIndex snapshot_bound(Domain domain, TOIndex snapshot) const;
+
+  /// Last committed definitive index of `domain` (the durable watermark used
+  /// by crash recovery to suppress re-execution of replayed transactions).
+  TOIndex last_committed(Domain domain) const { return last_committed_[domain]; }
+
+  /// Crash recovery: clears volatile state (TO-delivery history, snapshot
+  /// index, waiting queries) while keeping the per-domain durable commit
+  /// watermarks. The history is rebuilt by the redo replay.
+  void reset_volatile();
+
+  /// The oldest version index any present or future snapshot read can still
+  /// require: min(active query snapshots, last_to_index). Safe argument for
+  /// VersionedStore::prune (versions strictly older than the horizon are
+  /// unreachable except the newest one per object, which prune keeps).
+  TOIndex gc_horizon() const;
+
+ private:
+  struct RunningQuery {
+    QueryFn fn;
+    QueryDoneFn done;
+    TOIndex snapshot = 0;
+    SimTime submitted_at = 0;
+    std::uint32_t attempts = 0;
+  };
+
+  void run(std::shared_ptr<RunningQuery> query);
+  Value read(ObjectId obj, TOIndex snapshot) const;  // throws detail::SnapshotNotReady
+
+  Simulator& sim_;
+  const VersionedStore& store_;
+  DomainOf domain_of_;
+  ReplicaMetrics& metrics_;
+
+  std::vector<std::vector<TOIndex>> to_history_;  // per domain, ascending
+  std::vector<TOIndex> last_committed_;           // per domain
+  TOIndex last_to_index_ = 0;
+  std::map<TOIndex, std::vector<std::shared_ptr<RunningQuery>>> waiters_;
+  std::map<TOIndex, std::size_t> active_snapshots_;  // snapshot -> live queries
+};
+
+}  // namespace otpdb

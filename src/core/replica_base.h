@@ -1,0 +1,43 @@
+// Common interface of the replication engines in this repository: the OTP
+// engine (paper Section 3), the conservative engine (execute after TO-deliver)
+// and the lazy engine (commercial-style asynchronous replication). Benches and
+// the workload driver talk to replicas through this interface only.
+#pragma once
+
+#include <functional>
+
+#include "core/metrics.h"
+#include "core/query.h"
+#include "core/txn.h"
+#include "db/procedures.h"
+#include "sim/simulator.h"
+#include "util/types.h"
+
+namespace otpdb {
+
+class ReplicaBase {
+ public:
+  virtual ~ReplicaBase() = default;
+
+  /// Accepts a client update request at this site. The engine disseminates and
+  /// eventually commits it at every site. `exec_duration` models the stored
+  /// procedure's execution cost.
+  virtual void submit_update(ProcId proc, ClassId klass, TxnArgs args,
+                             SimTime exec_duration) = 0;
+
+  /// Accepts a client read-only query at this site; executed locally
+  /// (read-one/write-all). `done` fires with the completed query.
+  virtual void submit_query(QueryFn fn, SimTime exec_duration, QueryDoneFn done) = 0;
+
+  /// Invoked on every local commit (history recording / checkers).
+  virtual void set_commit_hook(CommitHook hook) = 0;
+
+  /// Outstanding work at this site (transactions not yet committed locally,
+  /// queries not yet answered). Zero across all sites means quiescent.
+  virtual std::size_t in_flight() const = 0;
+
+  virtual const ReplicaMetrics& metrics() const = 0;
+  virtual SiteId site() const = 0;
+};
+
+}  // namespace otpdb

@@ -1,0 +1,81 @@
+// Transaction records and state variables of the OTP algorithm (Section 3.3).
+//
+// Each transaction carries two state variables:
+//   execution state: active (not finished executing) or executed
+//   delivery state:  pending (after Opt-deliver) or committable (after
+//                    TO-deliver)
+// A transaction commits only when it is both executed and committable and sits
+// at the head of its class queue.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "db/procedures.h"
+#include "net/message.h"
+#include "sim/simulator.h"
+#include "util/types.h"
+
+namespace otpdb {
+
+enum class ExecState : std::uint8_t { active, executed };
+enum class DeliveryState : std::uint8_t { pending, committable };
+
+inline const char* to_string(ExecState s) { return s == ExecState::active ? "a" : "e"; }
+inline const char* to_string(DeliveryState s) {
+  return s == DeliveryState::pending ? "p" : "c";
+}
+
+/// The TO-broadcast payload: a stored-procedure invocation request.
+struct TxnRequest final : Payload {
+  ProcId proc = 0;
+  ClassId klass = 0;
+  TxnArgs args;
+  SiteId origin = 0;           ///< site that accepted the client request
+  std::uint64_t client_seq = 0;  ///< origin-local request number
+  SimTime submitted_at = 0;    ///< origin submit time (one simulated clock)
+  SimTime exec_duration = 0;   ///< modelled execution cost of the procedure
+  /// Pre-declared object access set; used by the fine-granularity lock-table
+  /// engine (paper Section 6 / [13]). Empty under the class-queue model.
+  std::vector<ObjectId> access_set;
+};
+
+/// Per-site bookkeeping for one update transaction.
+struct TxnRecord {
+  MsgId id;
+  std::shared_ptr<const TxnRequest> request;
+
+  ExecState exec = ExecState::active;
+  DeliveryState deliv = DeliveryState::pending;
+  TOIndex to_index = 0;  ///< definitive index; 0 until TO-delivered
+
+  bool running = false;       ///< execution submitted and not yet finished/aborted
+  EventId completion{};       ///< cancellable execution-completion event
+  std::uint32_t attempts = 0; ///< times (re)submitted for execution
+
+  SimTime opt_delivered_at = 0;
+  SimTime to_delivered_at = 0;
+  SimTime executed_at = 0;  ///< completion time of the last (successful) execution
+  SimTime committed_at = 0;
+
+  /// Read/write sets of the most recent execution (history checking).
+  std::vector<std::pair<ObjectId, Value>> last_reads;
+  std::vector<std::pair<ObjectId, Value>> last_writes;
+};
+
+/// Emitted at commit time for history checking and metrics.
+struct CommitRecord {
+  SiteId site = 0;
+  MsgId txn;
+  ProcId proc = 0;
+  ClassId klass = 0;
+  TOIndex index = 0;
+  SimTime at = 0;
+  std::vector<std::pair<ObjectId, Value>> writes;
+  std::vector<std::pair<ObjectId, Value>> reads;
+};
+
+using CommitHook = std::function<void(const CommitRecord&)>;
+
+}  // namespace otpdb

@@ -1,0 +1,50 @@
+// Conflict-class partitioning of the database (paper Section 2.3).
+//
+// Each stored procedure (transaction) belongs to exactly one conflict class,
+// and each class owns a disjoint partition of the objects. Transactions of the
+// same class are serialized through that class's queue; transactions of
+// different classes never conflict. The catalog maps objects to classes and is
+// identical at every site.
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.h"
+#include "util/types.h"
+
+namespace otpdb {
+
+class PartitionCatalog {
+ public:
+  /// Builds a catalog of `n_classes` partitions of `objects_per_class` objects
+  /// each. Object ids are dense: class c owns [c*opc, (c+1)*opc).
+  PartitionCatalog(std::size_t n_classes, std::uint64_t objects_per_class)
+      : n_classes_(n_classes), objects_per_class_(objects_per_class) {
+    OTPDB_CHECK(n_classes >= 1);
+    OTPDB_CHECK(objects_per_class >= 1);
+  }
+
+  std::size_t class_count() const { return n_classes_; }
+  std::uint64_t objects_per_class() const { return objects_per_class_; }
+  std::uint64_t object_count() const { return n_classes_ * objects_per_class_; }
+
+  /// The conflict class owning `obj`.
+  ClassId class_of(ObjectId obj) const {
+    const auto klass = static_cast<ClassId>(obj / objects_per_class_);
+    OTPDB_CHECK_MSG(klass < n_classes_, "object outside every partition");
+    return klass;
+  }
+
+  /// The k-th object of class `klass`.
+  ObjectId object(ClassId klass, std::uint64_t k) const {
+    OTPDB_CHECK(klass < n_classes_);
+    OTPDB_CHECK(k < objects_per_class_);
+    return static_cast<ObjectId>(klass) * objects_per_class_ + k;
+  }
+
+ private:
+  std::size_t n_classes_;
+  std::uint64_t objects_per_class_;
+};
+
+}  // namespace otpdb

@@ -1,0 +1,50 @@
+#include "db/procedures.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace otpdb {
+
+void TxnContext::check_scope(ObjectId obj) const {
+  if (catalog_ != nullptr) {
+    OTPDB_CHECK_MSG(catalog_->class_of(obj) == klass_,
+                    "update transaction touched an object outside its conflict class");
+  } else {
+    const bool declared =
+        std::find(access_set_->begin(), access_set_->end(), obj) != access_set_->end();
+    OTPDB_CHECK_MSG(declared, "update transaction touched an undeclared object");
+  }
+}
+
+Value TxnContext::read(ObjectId obj) {
+  check_scope(obj);
+  Value v = store_.read_for_txn(txn_, obj).value_or(Value{std::int64_t{0}});
+  reads_.emplace_back(obj, v);
+  return v;
+}
+
+void TxnContext::write(ObjectId obj, Value value) {
+  check_scope(obj);
+  writes_.emplace_back(obj, value);
+  store_.write(txn_, obj, std::move(value));
+}
+
+ProcId ProcedureRegistry::add(std::string name, Procedure fn) {
+  OTPDB_CHECK(fn != nullptr);
+  procs_.push_back(Entry{std::move(name), std::move(fn)});
+  return static_cast<ProcId>(procs_.size() - 1);
+}
+
+const Procedure& ProcedureRegistry::get(ProcId id) const {
+  OTPDB_CHECK_MSG(id < procs_.size(), "unknown stored procedure");
+  return procs_[id].fn;
+}
+
+const std::string& ProcedureRegistry::name(ProcId id) const {
+  OTPDB_CHECK(id < procs_.size());
+  return procs_[id].name;
+}
+
+}  // namespace otpdb

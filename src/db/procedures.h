@@ -1,0 +1,97 @@
+// Stored procedures and their execution contexts (paper Section 2.2).
+//
+// All data access goes through pre-declared stored procedures; one transaction
+// corresponds to one stored procedure invocation. Procedures must be
+// deterministic functions of (arguments, database state) - they execute
+// independently at every site and must produce identical writes everywhere.
+// The TxnContext enforces the conflict-class discipline of Section 2.3: an
+// update transaction may only touch objects of its own class partition.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "db/partition.h"
+#include "db/value.h"
+#include "db/versioned_store.h"
+#include "net/message.h"
+#include "util/types.h"
+
+namespace otpdb {
+
+/// Arguments marshalled inside the TO-broadcast transaction request.
+struct TxnArgs {
+  std::vector<std::int64_t> ints;
+  std::vector<std::string> strings;
+};
+
+/// Execution context handed to a stored procedure. The context enforces the
+/// transaction's access scope: either its conflict-class partition (the
+/// paper's Section 2.3 model) or an explicitly pre-declared object set (the
+/// fine-granularity model of Section 6 / the companion report [13]).
+class TxnContext {
+ public:
+  /// Class-scoped context: the transaction may touch its class's partition.
+  TxnContext(VersionedStore& store, const PartitionCatalog& catalog, MsgId txn, ClassId klass,
+             const TxnArgs& args)
+      : store_(store), catalog_(&catalog), txn_(txn), klass_(klass), args_(args) {}
+
+  /// Set-scoped context: the transaction may touch exactly `access_set`.
+  TxnContext(VersionedStore& store, const std::vector<ObjectId>& access_set, MsgId txn,
+             ClassId klass, const TxnArgs& args)
+      : store_(store), access_set_(&access_set), txn_(txn), klass_(klass), args_(args) {}
+
+  /// Reads an object within this transaction's scope (own writes visible).
+  /// Unwritten objects read as integer 0.
+  Value read(ObjectId obj);
+  std::int64_t read_int(ObjectId obj) { return as_int(read(obj)); }
+
+  /// Writes an object within this transaction's scope (provisional until
+  /// commit).
+  void write(ObjectId obj, Value value);
+
+  const TxnArgs& args() const { return args_; }
+  ClassId conflict_class() const { return klass_; }
+  MsgId txn_id() const { return txn_; }
+
+  /// Read/write sets accumulated during execution (checker support).
+  const std::vector<std::pair<ObjectId, Value>>& reads() const { return reads_; }
+  const std::vector<std::pair<ObjectId, Value>>& writes() const { return writes_; }
+
+ private:
+  void check_scope(ObjectId obj) const;
+
+  VersionedStore& store_;
+  const PartitionCatalog* catalog_ = nullptr;         // class scope
+  const std::vector<ObjectId>* access_set_ = nullptr;  // set scope
+  MsgId txn_;
+  ClassId klass_;
+  const TxnArgs& args_;
+  std::vector<std::pair<ObjectId, Value>> reads_;
+  std::vector<std::pair<ObjectId, Value>> writes_;
+};
+
+using Procedure = std::function<void(TxnContext&)>;
+
+/// Site-independent registry of stored procedures. Must be populated
+/// identically at every site before the run (procedures are pre-declared).
+class ProcedureRegistry {
+ public:
+  /// Registers a procedure; returns its id. Ids are assigned densely from 0.
+  ProcId add(std::string name, Procedure fn);
+
+  const Procedure& get(ProcId id) const;
+  const std::string& name(ProcId id) const;
+  std::size_t size() const { return procs_.size(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    Procedure fn;
+  };
+  std::vector<Entry> procs_;
+};
+
+}  // namespace otpdb

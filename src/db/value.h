@@ -1,0 +1,35 @@
+// Database value type.
+//
+// Stored objects hold a small tagged value (integer, real, or text) - enough
+// for the stored-procedure workloads of the paper (account balances, stock
+// counters, order records) while keeping versions cheap to copy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace otpdb {
+
+using Value = std::variant<std::int64_t, double, std::string>;
+
+/// Integer view of a value (doubles truncate, strings parse loosely as 0).
+inline std::int64_t as_int(const Value& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return *i;
+  if (const auto* d = std::get_if<double>(&v)) return static_cast<std::int64_t>(*d);
+  return 0;
+}
+
+inline double as_double(const Value& v) {
+  if (const auto* d = std::get_if<double>(&v)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return static_cast<double>(*i);
+  return 0.0;
+}
+
+inline std::string to_display_string(const Value& v) {
+  if (const auto* s = std::get_if<std::string>(&v)) return *s;
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return std::to_string(*i);
+  return std::to_string(std::get<double>(v));
+}
+
+}  // namespace otpdb

@@ -1,0 +1,92 @@
+#include "db/versioned_store.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace otpdb {
+
+void VersionedStore::load(ObjectId obj, Value value) {
+  auto& chain = chains_[obj];
+  OTPDB_CHECK_MSG(chain.empty(), "load() must precede all writes");
+  chain.push_back(Version{0, std::move(value)});
+}
+
+std::optional<Value> VersionedStore::read_latest(ObjectId obj) const {
+  auto it = chains_.find(obj);
+  if (it == chains_.end() || it->second.empty()) return std::nullopt;
+  return it->second.back().value;
+}
+
+std::optional<Value> VersionedStore::read_snapshot(ObjectId obj, TOIndex max_index) const {
+  auto it = chains_.find(obj);
+  if (it == chains_.end() || it->second.empty()) return std::nullopt;
+  const auto& chain = it->second;
+  // Chains are ascending by index; find the last version with index <= max.
+  auto pos = std::upper_bound(chain.begin(), chain.end(), max_index,
+                              [](TOIndex m, const Version& v) { return m < v.index; });
+  if (pos == chain.begin()) return std::nullopt;  // object born after the snapshot
+  return std::prev(pos)->value;
+}
+
+std::optional<Value> VersionedStore::read_for_txn(const MsgId& txn, ObjectId obj) const {
+  auto pit = provisional_.find(txn);
+  if (pit != provisional_.end()) {
+    auto wit = pit->second.find(obj);
+    if (wit != pit->second.end()) return wit->second;
+  }
+  return read_latest(obj);
+}
+
+void VersionedStore::write(const MsgId& txn, ObjectId obj, Value value) {
+  provisional_[txn][obj] = std::move(value);
+}
+
+void VersionedStore::commit(const MsgId& txn, TOIndex index) {
+  OTPDB_CHECK(index > 0);
+  auto pit = provisional_.find(txn);
+  if (pit == provisional_.end()) return;  // read-only or write-free transaction
+  for (auto& [obj, value] : pit->second) {
+    auto& chain = chains_[obj];
+    OTPDB_CHECK_MSG(chain.empty() || chain.back().index < index,
+                    "commit indices must ascend per object");
+    chain.push_back(Version{index, std::move(value)});
+  }
+  provisional_.erase(pit);
+}
+
+void VersionedStore::abort(const MsgId& txn) { provisional_.erase(txn); }
+
+std::vector<std::pair<ObjectId, Value>> VersionedStore::provisional_writes(
+    const MsgId& txn) const {
+  std::vector<std::pair<ObjectId, Value>> out;
+  auto pit = provisional_.find(txn);
+  if (pit == provisional_.end()) return out;
+  out.reserve(pit->second.size());
+  for (const auto& [obj, value] : pit->second) out.emplace_back(obj, value);
+  return out;
+}
+
+std::size_t VersionedStore::total_versions() const {
+  std::size_t n = 0;
+  for (const auto& [obj, chain] : chains_) n += chain.size();
+  return n;
+}
+
+std::size_t VersionedStore::prune(TOIndex horizon) {
+  std::size_t dropped = 0;
+  for (auto& [obj, chain] : chains_) {
+    // Keep the newest version with index < horizon (still visible at horizon)
+    // plus everything >= horizon.
+    auto first_kept = std::lower_bound(
+        chain.begin(), chain.end(), horizon,
+        [](const Version& v, TOIndex h) { return v.index < h; });
+    if (first_kept == chain.begin()) continue;
+    auto erase_end = std::prev(first_kept);  // newest pre-horizon version survives
+    dropped += static_cast<std::size_t>(std::distance(chain.begin(), erase_end));
+    chain.erase(chain.begin(), erase_end);
+  }
+  return dropped;
+}
+
+}  // namespace otpdb

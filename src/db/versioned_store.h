@@ -1,0 +1,77 @@
+// Multi-version in-memory storage engine.
+//
+// Each object carries a chain of committed versions stamped with the
+// definitive index (TOIndex) of the creating transaction - the version
+// labeling the paper's Section 5 relies on for query snapshots. Executing
+// transactions write *provisional* versions visible only to themselves;
+// commit(txn, index) stamps them into the committed chain, abort(txn) drops
+// them (the paper's "undo using traditional recovery techniques" - provisional
+// versions double as the undo log).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "db/value.h"
+#include "net/message.h"
+#include "util/types.h"
+
+namespace otpdb {
+
+class VersionedStore {
+ public:
+  struct Version {
+    TOIndex index = 0;  // 0 = initial load
+    Value value;
+  };
+
+  /// Installs an initial version (index 0). Used to load the schema before the
+  /// run; all sites must load identically.
+  void load(ObjectId obj, Value value);
+
+  /// Latest committed value, ignoring snapshots. nullopt if never written.
+  std::optional<Value> read_latest(ObjectId obj) const;
+
+  /// Latest committed value with version index <= max_index (snapshot read).
+  std::optional<Value> read_snapshot(ObjectId obj, TOIndex max_index) const;
+
+  /// Transaction-scoped read: the transaction's own provisional write if any,
+  /// else the latest committed value.
+  std::optional<Value> read_for_txn(const MsgId& txn, ObjectId obj) const;
+
+  /// Provisional write by an executing transaction.
+  void write(const MsgId& txn, ObjectId obj, Value value);
+
+  /// Promotes the transaction's provisional writes to committed versions
+  /// stamped `index`. Per-object version indices must remain ascending (the
+  /// OTP engine guarantees this: commits within a class follow the definitive
+  /// order and classes own disjoint objects).
+  void commit(const MsgId& txn, TOIndex index);
+
+  /// Discards the transaction's provisional writes (undo).
+  void abort(const MsgId& txn);
+
+  /// Discards every provisional write (crash recovery: provisional versions
+  /// live in volatile memory; only committed versions are durable).
+  void clear_provisional() { provisional_.clear(); }
+
+  /// The transaction's current provisional write set (for history recording).
+  std::vector<std::pair<ObjectId, Value>> provisional_writes(const MsgId& txn) const;
+
+  /// Version-chain statistics (benches / GC tests).
+  std::size_t object_count() const { return chains_.size(); }
+  std::size_t total_versions() const;
+
+  /// Garbage-collects versions no snapshot can reach: for each object, drops
+  /// all versions with index < horizon except the newest such version (which
+  /// a snapshot at `horizon` may still read). Returns versions dropped.
+  std::size_t prune(TOIndex horizon);
+
+ private:
+  std::unordered_map<ObjectId, std::vector<Version>> chains_;
+  std::unordered_map<MsgId, std::map<ObjectId, Value>> provisional_;
+};
+
+}  // namespace otpdb

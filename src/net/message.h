@@ -1,0 +1,58 @@
+// Message and addressing types shared by the network model and all protocols.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace otpdb {
+
+/// Site (replica/process) identifier: 0 .. n_sites-1.
+using SiteId = std::uint32_t;
+
+/// Logical channel (like a port) multiplexed over the network. Each protocol
+/// subscribes to its own channel(s).
+using Channel = std::uint32_t;
+
+/// Globally unique message identity: sender plus per-sender sequence number.
+/// Atomic broadcast orders application messages by MsgId.
+struct MsgId {
+  SiteId sender = 0;
+  std::uint64_t seq = 0;
+
+  bool operator==(const MsgId&) const = default;
+  auto operator<=>(const MsgId&) const = default;
+};
+
+/// Base class for message payloads. Protocols define payload structs deriving
+/// from Payload; messages carry shared_ptr<const Payload> so a multicast shares
+/// one immutable body across all receivers (value-semantics at the protocol
+/// level, zero copies in the simulator).
+struct Payload {
+  virtual ~Payload() = default;
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+/// A network message as seen by a receiver.
+struct Message {
+  MsgId id;
+  SiteId from = 0;
+  Channel channel = 0;
+  PayloadPtr payload;
+};
+
+/// Convenience downcast for protocol handlers. Returns nullptr on mismatch.
+template <typename T>
+const T* payload_cast(const Message& m) {
+  return dynamic_cast<const T*>(m.payload.get());
+}
+
+}  // namespace otpdb
+
+template <>
+struct std::hash<otpdb::MsgId> {
+  std::size_t operator()(const otpdb::MsgId& id) const noexcept {
+    return std::hash<std::uint64_t>()((static_cast<std::uint64_t>(id.sender) << 48) ^ id.seq);
+  }
+};

@@ -1,0 +1,127 @@
+#include "net/network.h"
+
+#include <utility>
+
+#include "util/assert.h"
+
+namespace otpdb {
+
+Network::Network(Simulator& sim, std::size_t n_sites, NetConfig config, Rng rng)
+    : sim_(sim),
+      site_count_(n_sites),
+      config_(config),
+      rng_(rng),
+      next_seq_(n_sites, 0),
+      handlers_(n_sites),
+      crashed_(n_sites, false),
+      partition_group_(n_sites, 0),
+      arrival_logs_(n_sites) {
+  OTPDB_CHECK(n_sites >= 1);
+}
+
+void Network::subscribe(SiteId site, Channel channel, Handler handler) {
+  OTPDB_CHECK(site < site_count_);
+  auto& per_site = handlers_[site];
+  if (per_site.size() <= channel) per_site.resize(channel + 1);
+  OTPDB_CHECK_MSG(!per_site[channel], "channel already subscribed at this site");
+  per_site[channel] = std::move(handler);
+}
+
+SimTime Network::sample_receiver_delay() {
+  SimTime delay = config_.base_delay +
+                  static_cast<SimTime>(rng_.uniform_double(0.0, static_cast<double>(config_.noise_max)));
+  if (rng_.bernoulli(config_.hiccup_prob)) {
+    delay += static_cast<SimTime>(rng_.exponential(static_cast<double>(config_.hiccup_mean)));
+  }
+  return delay;
+}
+
+void Network::deliver(SiteId to, Message msg, SimTime delay) {
+  sim_.schedule_after(delay, [this, to, msg = std::move(msg)] {
+    // Re-check at delivery time: the receiver may have crashed in flight.
+    // A crash loses the message (the paper's crash model; recovery replays
+    // from peers); a partition merely delays it - channels stay reliable
+    // ("a message sent by Ni to Nj is eventually received"), so the message
+    // is retried until the partition heals or an endpoint crashes.
+    if (crashed_[to] || crashed_[msg.from]) return;
+    if (partition_group_[msg.from] != partition_group_[to]) {
+      held_.emplace_back(to, msg);  // parked until the partition heals
+      return;
+    }
+    if (recorded_channel_ && msg.channel == *recorded_channel_) {
+      arrival_logs_[to].push_back(msg.id);
+    }
+    ++delivered_;
+    const auto& per_site = handlers_[to];
+    if (msg.channel < per_site.size() && per_site[msg.channel]) {
+      per_site[msg.channel](msg);
+    }
+  });
+}
+
+MsgId Network::multicast(SiteId from, Channel channel, PayloadPtr payload) {
+  OTPDB_CHECK(from < site_count_);
+  const MsgId id{from, next_seq_[from]++};
+  if (crashed_[from]) return id;  // a crashed site's sends vanish
+
+  // The shared medium serializes frames: the frame reaches the wire when the
+  // bus frees up, and every receiver's delay is measured from that point.
+  const SimTime wire_at = std::max(sim_.now(), bus_free_at_);
+  bus_free_at_ = wire_at + config_.serialization_time;
+  const SimTime on_wire = bus_free_at_ - sim_.now();
+
+  Message msg{id, from, channel, std::move(payload)};
+  for (SiteId to = 0; to < site_count_; ++to) {
+    if (crashed_[to]) continue;  // partitioned receivers are handled at delivery
+    SimTime delay = on_wire + sample_receiver_delay();
+    // Loss + retransmission: each drop defers delivery by one timeout. The
+    // channel stays reliable (paper model) but late arrivals perturb order.
+    while (rng_.bernoulli(config_.loss_prob)) delay += config_.retransmit_timeout;
+    deliver(to, msg, delay);
+  }
+  return id;
+}
+
+MsgId Network::unicast(SiteId from, SiteId to, Channel channel, PayloadPtr payload) {
+  OTPDB_CHECK(from < site_count_);
+  OTPDB_CHECK(to < site_count_);
+  const MsgId id{from, next_seq_[from]++};
+  if (crashed_[from] || crashed_[to]) return id;
+
+  const SimTime wire_at = std::max(sim_.now(), bus_free_at_);
+  bus_free_at_ = wire_at + config_.serialization_time;
+  SimTime delay = (bus_free_at_ - sim_.now()) + sample_receiver_delay();
+  while (rng_.bernoulli(config_.loss_prob)) delay += config_.retransmit_timeout;
+  deliver(to, Message{id, from, channel, std::move(payload)}, delay);
+  return id;
+}
+
+void Network::crash(SiteId site) {
+  OTPDB_CHECK(site < site_count_);
+  crashed_[site] = true;
+}
+
+void Network::recover(SiteId site) {
+  OTPDB_CHECK(site < site_count_);
+  crashed_[site] = false;
+}
+
+void Network::partition(const std::vector<SiteId>& group_a, const std::vector<SiteId>& group_b) {
+  for (SiteId s : group_a) partition_group_[s] = 1;
+  for (SiteId s : group_b) partition_group_[s] = 2;
+}
+
+void Network::heal_partition() {
+  std::fill(partition_group_.begin(), partition_group_.end(), 0);
+  // Reliable channels: everything parked during the split now flows, with a
+  // fresh receiver delay per message (modelling post-heal retransmission).
+  std::vector<std::pair<SiteId, Message>> held = std::move(held_);
+  held_.clear();
+  for (auto& [to, msg] : held) {
+    deliver(to, std::move(msg), config_.retransmit_timeout + sample_receiver_delay());
+  }
+}
+
+void Network::record_arrivals(Channel channel) { recorded_channel_ = channel; }
+
+}  // namespace otpdb

@@ -1,0 +1,113 @@
+// Simulated broadcast LAN segment.
+//
+// Models the testbed of the paper's Figure 1 experiment (shared Ethernet with
+// IP multicast): one shared medium that serializes frames, a propagation /
+// protocol-stack floor per receiver, and receive-side jitter. The jitter model
+// is bimodal - most packets see only microsecond-scale noise, a small fraction
+// hit a "hiccup" (kernel scheduling, interrupt coalescing) with a much larger
+// exponential delay. That bimodality is what makes spontaneous total order
+// common for well-spaced sends and increasingly rare as the send interval
+// approaches zero, reproducing the shape of Figure 1.
+//
+// The model also supports per-receiver message loss (with transport-level
+// retransmission so channels stay reliable, as the paper assumes), site
+// crash/recovery, and network partitions, all deterministic under a seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "net/message.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace otpdb {
+
+/// Timing and fault parameters of the simulated segment.
+struct NetConfig {
+  /// Time a frame occupies the shared medium (10 Mbit/s, ~128-byte frames).
+  SimTime serialization_time = 100 * kMicrosecond;
+  /// Fixed propagation + stack traversal floor applied to every delivery.
+  SimTime base_delay = 50 * kMicrosecond;
+  /// Uniform receive-side noise in [0, noise_max) added to every delivery.
+  SimTime noise_max = 20 * kMicrosecond;
+  /// Probability that a delivery hits a scheduling hiccup. The default pair
+  /// (6 %, 310 us) is calibrated against the paper's Figure 1 anchors:
+  /// ~82 % spontaneously ordered messages under a saturated 10 Mbit/s bus and
+  /// ~99 % at a 4 ms per-site send interval (see bench/fig1_spontaneous_order).
+  double hiccup_prob = 0.06;
+  /// ...with an additional exponential delay of this mean.
+  SimTime hiccup_mean = 310 * kMicrosecond;
+  /// Per-delivery drop probability; dropped frames are retransmitted after rto.
+  double loss_prob = 0.0;
+  /// Retransmission timeout applied per drop.
+  SimTime retransmit_timeout = 10 * kMillisecond;
+};
+
+/// Deterministic simulated network connecting n sites.
+///
+/// All sends are stamped with a MsgId (per-sender sequence). Deliveries invoke
+/// the receiver's subscribed handler for the message's channel. Crashed sites
+/// neither send nor receive; partitioned site pairs do not exchange messages
+/// while the partition holds.
+class Network {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  Network(Simulator& sim, std::size_t n_sites, NetConfig config, Rng rng);
+
+  std::size_t site_count() const { return site_count_; }
+  const NetConfig& config() const { return config_; }
+
+  /// Registers the handler invoked when `site` receives a message on `channel`.
+  /// At most one handler per (site, channel).
+  void subscribe(SiteId site, Channel channel, Handler handler);
+
+  /// Broadcasts to every site, including the sender itself (IP-multicast
+  /// loopback included). Returns the assigned message id.
+  MsgId multicast(SiteId from, Channel channel, PayloadPtr payload);
+
+  /// Point-to-point send. Returns the assigned message id.
+  MsgId unicast(SiteId from, SiteId to, Channel channel, PayloadPtr payload);
+
+  /// Crash fault injection: a crashed site sends and receives nothing.
+  void crash(SiteId site);
+  void recover(SiteId site);
+  bool crashed(SiteId site) const { return crashed_[site]; }
+
+  /// Partition fault injection (symmetric): messages between the two groups
+  /// are parked while the partition holds and delivered after healing -
+  /// channels stay reliable (the paper's model); only crashes lose messages.
+  void partition(const std::vector<SiteId>& group_a, const std::vector<SiteId>& group_b);
+  void heal_partition();
+
+  /// Total messages delivered (for bench counters).
+  std::uint64_t delivered_count() const { return delivered_; }
+
+  /// Arrival-order recording used by the Figure 1 experiment: when enabled,
+  /// every delivery on `channel` is appended to the per-site arrival log.
+  void record_arrivals(Channel channel);
+  const std::vector<std::vector<MsgId>>& arrival_logs() const { return arrival_logs_; }
+
+ private:
+  void deliver(SiteId to, Message msg, SimTime delay);
+  SimTime sample_receiver_delay();
+
+  Simulator& sim_;
+  std::size_t site_count_;
+  NetConfig config_;
+  Rng rng_;
+  std::vector<std::uint64_t> next_seq_;                 // per sender
+  std::vector<std::vector<Handler>> handlers_;          // [site][channel]
+  std::vector<bool> crashed_;
+  std::vector<std::uint32_t> partition_group_;          // 0 = none/all together
+  SimTime bus_free_at_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::vector<std::pair<SiteId, Message>> held_;  // parked by an active partition
+  std::optional<Channel> recorded_channel_;
+  std::vector<std::vector<MsgId>> arrival_logs_;
+};
+
+}  // namespace otpdb

@@ -1,0 +1,63 @@
+#include "net/spontaneous_order.h"
+
+#include <unordered_map>
+
+#include "util/assert.h"
+
+namespace otpdb {
+
+SpontaneousOrderStats analyze_spontaneous_order(const std::vector<std::vector<MsgId>>& logs) {
+  SpontaneousOrderStats stats;
+  if (logs.empty()) return stats;
+  const std::size_t n_sites = logs.size();
+
+  // Count how many sites logged each message; only messages seen exactly once
+  // per site ("common") participate in the metric.
+  std::unordered_map<MsgId, std::size_t> seen_count;
+  for (const auto& log : logs)
+    for (const MsgId& id : log) ++seen_count[id];
+
+  auto is_common = [&](const MsgId& id) { return seen_count.at(id) == n_sites; };
+
+  // Rank of each common message at each site, computed over the common subset
+  // so that ranks are comparable across sites.
+  std::unordered_map<MsgId, std::vector<std::size_t>> ranks;
+  ranks.reserve(seen_count.size());
+  for (std::size_t site = 0; site < n_sites; ++site) {
+    std::size_t rank = 0;
+    for (const MsgId& id : logs[site]) {
+      if (!is_common(id)) continue;
+      auto& r = ranks[id];
+      OTPDB_CHECK_MSG(r.size() == site, "message logged twice at one site");
+      r.push_back(rank++);
+    }
+  }
+
+  for (const auto& [id, r] : ranks) {
+    ++stats.messages;
+    bool same = true;
+    for (std::size_t site = 1; site < n_sites; ++site) same &= r[site] == r[0];
+    if (same) ++stats.same_position;
+  }
+
+  // Pairwise agreement over pairs adjacent at site 0.
+  std::vector<MsgId> ref;
+  for (const MsgId& id : logs[0])
+    if (is_common(id)) ref.push_back(id);
+  for (std::size_t i = 0; i + 1 < ref.size(); ++i) {
+    const auto& r_a = ranks.at(ref[i]);
+    const auto& r_b = ranks.at(ref[i + 1]);
+    ++stats.pairs_checked;
+    bool agreed = true;
+    for (std::size_t site = 1; site < n_sites; ++site) {
+      if (r_a[site] > r_b[site]) {
+        agreed = false;
+        break;
+      }
+    }
+    if (agreed) ++stats.pairs_agreed;
+  }
+  return stats;
+}
+
+}  // namespace otpdb

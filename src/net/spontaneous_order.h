@@ -1,0 +1,39 @@
+// Spontaneous-total-order metrics over per-site arrival logs (Figure 1).
+//
+// The paper measures "the percentage of spontaneously ordered messages": the
+// fraction of messages that arrive at all sites in the same order. We compute
+// it as the fraction of messages whose arrival position (rank) is identical in
+// every site's arrival sequence, restricted to messages every site received.
+// A companion pairwise metric (fraction of message pairs on which all sites
+// agree) is also provided; it is the quantity that drives the OPT-ABcast
+// fast-path probability.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/message.h"
+
+namespace otpdb {
+
+struct SpontaneousOrderStats {
+  std::uint64_t messages = 0;        ///< messages received by all sites
+  std::uint64_t same_position = 0;   ///< ... with identical rank everywhere
+  std::uint64_t pairs_checked = 0;   ///< sampled adjacent pairs
+  std::uint64_t pairs_agreed = 0;    ///< ... ordered identically at all sites
+
+  double position_agreement() const {
+    return messages ? static_cast<double>(same_position) / static_cast<double>(messages) : 1.0;
+  }
+  double pair_agreement() const {
+    return pairs_checked ? static_cast<double>(pairs_agreed) / static_cast<double>(pairs_checked)
+                         : 1.0;
+  }
+};
+
+/// Computes ordering agreement across the given arrival logs (one per site).
+/// Messages missing from any site's log are excluded. Pair agreement is
+/// evaluated over pairs adjacent in site 0's log (the pairs at risk).
+SpontaneousOrderStats analyze_spontaneous_order(const std::vector<std::vector<MsgId>>& logs);
+
+}  // namespace otpdb

@@ -1,0 +1,71 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace otpdb {
+
+EventId Simulator::schedule_at(SimTime at, Action action) {
+  OTPDB_CHECK_MSG(at >= now_, "cannot schedule an event in the simulated past");
+  OTPDB_CHECK(action != nullptr);
+  const std::uint64_t id = next_id_++;
+  heap_.push(Entry{at, next_seq_++, id});
+  actions_.emplace(id, std::move(action));
+  return EventId{id};
+}
+
+EventId Simulator::schedule_after(SimTime delay, Action action) {
+  OTPDB_CHECK(delay >= 0);
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+bool Simulator::cancel(EventId id) {
+  auto it = actions_.find(id.value);
+  if (it == actions_.end()) return false;
+  actions_.erase(it);
+  cancelled_.insert(id.value);
+  return true;
+}
+
+bool Simulator::step() {
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    heap_.pop();
+    auto cancelled = cancelled_.find(top.id);
+    if (cancelled != cancelled_.end()) {
+      cancelled_.erase(cancelled);
+      continue;
+    }
+    auto it = actions_.find(top.id);
+    OTPDB_ASSERT(it != actions_.end());
+    Action action = std::move(it->second);
+    actions_.erase(it);
+    now_ = top.at;
+    ++executed_;
+    action();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulator::run(std::uint64_t limit) {
+  std::uint64_t n = 0;
+  while (n < limit && step()) ++n;
+  return n;
+}
+
+void Simulator::run_until(SimTime deadline) {
+  while (!heap_.empty()) {
+    // Skip cancelled entries without advancing time.
+    const Entry top = heap_.top();
+    if (cancelled_.contains(top.id)) {
+      heap_.pop();
+      cancelled_.erase(top.id);
+      continue;
+    }
+    if (top.at > deadline) break;
+    step();
+  }
+  now_ = std::max(now_, deadline);
+}
+
+}  // namespace otpdb

@@ -1,0 +1,96 @@
+// Deterministic discrete-event simulator.
+//
+// All otpdb experiments run an entire replicated cluster inside one Simulator:
+// the network model schedules message arrivals, replicas schedule transaction
+// execution completions, the broadcast protocols schedule timeouts. Events at
+// equal timestamps fire in schedule order (stable FIFO tie-break), so a run is
+// a pure function of (configuration, seed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace otpdb {
+
+/// Simulated time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1000;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+
+/// Handle for a scheduled event; usable to cancel it before it fires.
+struct EventId {
+  std::uint64_t value = 0;
+  bool operator==(const EventId&) const = default;
+};
+
+/// Single-threaded discrete-event engine.
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `action` at absolute time `at` (>= now). Returns a cancel handle.
+  EventId schedule_at(SimTime at, Action action);
+
+  /// Schedules `action` `delay` after now (delay >= 0).
+  EventId schedule_after(SimTime delay, Action action);
+
+  /// Cancels a pending event. Returns false if it already fired or was cancelled.
+  bool cancel(EventId id);
+
+  /// Runs the earliest pending event. Returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the queue empties or `limit` events have fired.
+  /// Returns the number of events executed.
+  std::uint64_t run(std::uint64_t limit = UINT64_MAX);
+
+  /// Runs events with time <= deadline; afterwards now() == max(now, deadline).
+  void run_until(SimTime deadline);
+
+  /// Pending (non-cancelled) event count.
+  std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+
+  /// Total events executed so far (for bench counters / loop guards).
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;  // schedule order; breaks timestamp ties FIFO
+    std::uint64_t id;
+    // Actions are stored out-of-line so heap moves stay cheap.
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<std::uint64_t, Action> actions_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace otpdb

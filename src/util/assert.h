@@ -1,0 +1,39 @@
+// Assertion and invariant-checking macros used across otpdb.
+//
+// OTPDB_CHECK   - always-on invariant check; aborts with a diagnostic.
+// OTPDB_ASSERT  - debug-only check (compiled out under NDEBUG).
+// OTPDB_UNREACHABLE - marks logically unreachable control flow.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace otpdb::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "otpdb check failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace otpdb::detail
+
+#define OTPDB_CHECK(expr)                                                       \
+  do {                                                                          \
+    if (!(expr)) ::otpdb::detail::check_failed(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define OTPDB_CHECK_MSG(expr, msg)                                              \
+  do {                                                                          \
+    if (!(expr)) ::otpdb::detail::check_failed(#expr, __FILE__, __LINE__, (msg));   \
+  } while (0)
+
+#ifdef NDEBUG
+#define OTPDB_ASSERT(expr) ((void)0)
+#else
+#define OTPDB_ASSERT(expr) OTPDB_CHECK(expr)
+#endif
+
+#define OTPDB_UNREACHABLE() \
+  ::otpdb::detail::check_failed("unreachable", __FILE__, __LINE__, nullptr)

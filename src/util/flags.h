@@ -1,0 +1,31 @@
+// Minimal command-line flag parsing for the example/tool binaries.
+// Accepts "--key=value" and "--key value" forms plus bare positionals.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace otpdb {
+
+class Flags {
+ public:
+  /// Parses argv; unknown flags are kept (validated by the caller via keys()).
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const { return values_.contains(key); }
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace otpdb

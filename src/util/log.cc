@@ -1,0 +1,52 @@
+#include "util/log.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace otpdb {
+namespace {
+
+std::mutex g_mutex;
+LogLevel g_level = LogLevel::warn;
+Log::Sink g_sink;  // empty -> stderr
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::trace: return "TRACE";
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO";
+    case LogLevel::warn: return "WARN";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Log::set_level(LogLevel level) {
+  std::scoped_lock lock(g_mutex);
+  g_level = level;
+}
+
+LogLevel Log::level() {
+  std::scoped_lock lock(g_mutex);
+  return g_level;
+}
+
+void Log::set_sink(Sink sink) {
+  std::scoped_lock lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+void Log::write(LogLevel level, const std::string& msg) {
+  std::scoped_lock lock(g_mutex);
+  if (level < g_level) return;
+  if (g_sink) {
+    g_sink(level, msg);
+  } else {
+    std::fprintf(stderr, "%-5s %s\n", level_name(level), msg.c_str());
+  }
+}
+
+}  // namespace otpdb

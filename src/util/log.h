@@ -1,0 +1,57 @@
+// Minimal leveled logging. Simulation components log through a Logger that
+// prefixes simulated time and site; benches keep it at Level::warn to stay
+// quiet, tests can raise verbosity for debugging.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace otpdb {
+
+enum class LogLevel : int { trace = 0, debug = 1, info = 2, warn = 3, error = 4, off = 5 };
+
+/// Process-wide log sink and threshold. Defaults to stderr at warn.
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static void set_level(LogLevel level);
+  static LogLevel level();
+  static void set_sink(Sink sink);  ///< nullptr restores the stderr sink.
+  static void write(LogLevel level, const std::string& msg);
+  static bool enabled(LogLevel level) { return level >= Log::level(); }
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* tag) : level_(level) {
+    if (tag && *tag) stream_ << "[" << tag << "] ";
+  }
+  ~LogLine() { Log::write(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace otpdb
+
+#define OTPDB_LOG(level, tag)                              \
+  if (!::otpdb::Log::enabled(level)) {                     \
+  } else                                                   \
+    ::otpdb::detail::LogLine(level, tag)
+
+#define OTPDB_TRACE(tag) OTPDB_LOG(::otpdb::LogLevel::trace, tag)
+#define OTPDB_DEBUG(tag) OTPDB_LOG(::otpdb::LogLevel::debug, tag)
+#define OTPDB_INFO(tag) OTPDB_LOG(::otpdb::LogLevel::info, tag)
+#define OTPDB_WARN(tag) OTPDB_LOG(::otpdb::LogLevel::warn, tag)
+#define OTPDB_ERROR(tag) OTPDB_LOG(::otpdb::LogLevel::error, tag)

@@ -1,0 +1,26 @@
+// Small domain identifier types shared across otpdb subsystems.
+#pragma once
+
+#include <cstdint>
+
+namespace otpdb {
+
+/// Position in the definitive total order established by atomic broadcast.
+/// 1-based; 0 means "not yet TO-delivered". Identical at all sites (Global
+/// Order property), so it doubles as the version stamp of committed data and
+/// as the snapshot index of queries (paper Section 5).
+using TOIndex = std::uint64_t;
+
+/// Conflict class identifier (paper Section 2.3). Transactions in the same
+/// class conflict; transactions in different classes never do.
+using ClassId = std::uint32_t;
+
+/// Database object key. Every object belongs to exactly one conflict class
+/// partition (see PartitionCatalog).
+using ObjectId = std::uint64_t;
+
+/// Stored procedure identifier (paper Section 2.2: one transaction = one
+/// pre-declared stored procedure).
+using ProcId = std::uint32_t;
+
+}  // namespace otpdb

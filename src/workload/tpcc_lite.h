@@ -1,0 +1,112 @@
+// TPC-C-lite: a warehouse/order-entry workload in the paper's execution model.
+//
+// TPC-C's warehouse-centric partitioning maps directly onto the paper's
+// conflict classes (Section 2.3): each warehouse is one conflict class owning
+// its stock, districts and customers; the update transactions (NewOrder,
+// Payment, Delivery) each touch a single warehouse, while the read-only
+// StockLevel and multi-warehouse analytics queries run on snapshots
+// (Section 5). The procedures maintain audit invariants (money and stock
+// conservation, dense order ids) that hold exactly if and only if execution
+// is 1-copy-serializable - integration tests and the example assert them.
+#pragma once
+
+#include <cstdint>
+
+#include "core/cluster.h"
+#include "db/partition.h"
+#include "db/procedures.h"
+#include "util/rng.h"
+
+namespace otpdb::tpcc {
+
+/// Object layout inside one warehouse's conflict-class partition.
+struct Layout {
+  std::uint64_t n_items = 32;      ///< stock slots per warehouse
+  std::uint64_t n_districts = 4;   ///< district next-order-id slots
+  std::uint64_t n_customers = 16;  ///< customer balance slots
+
+  std::uint64_t objects_per_warehouse() const {
+    return n_items + n_districts + n_customers + 2;  // + YTD + delivered counter
+  }
+  // Offsets within the class partition.
+  std::uint64_t stock_offset(std::uint64_t item) const { return item; }
+  std::uint64_t district_offset(std::uint64_t district) const { return n_items + district; }
+  std::uint64_t customer_offset(std::uint64_t customer) const {
+    return n_items + n_districts + customer;
+  }
+  std::uint64_t ytd_offset() const { return n_items + n_districts + n_customers; }
+  std::uint64_t delivered_offset() const { return ytd_offset() + 1; }
+};
+
+/// Registered procedure ids.
+struct Procedures {
+  ProcId new_order = 0;  ///< args: [district, customer, item1, qty1, item2, qty2, ...]
+  ProcId payment = 0;    ///< args: [customer, amount]
+  ProcId delivery = 0;   ///< args: [district]
+};
+
+constexpr std::int64_t kInitialStock = 1000;
+constexpr std::int64_t kStockLevelThreshold = 985;  ///< StockLevel "low stock" cutoff
+constexpr std::int64_t kItemPrice = 5;
+
+/// Registers the three update procedures against the given layout. The
+/// catalog's objects_per_class must equal layout.objects_per_warehouse().
+Procedures register_procedures(ProcedureRegistry& registry, const PartitionCatalog& catalog,
+                               const Layout& layout);
+
+/// Loads initial stock (and zeroed counters) at every site of the cluster.
+void load_initial_state(Cluster& cluster, const Layout& layout);
+
+struct MixConfig {
+  double new_order_weight = 0.45;
+  double payment_weight = 0.43;
+  double delivery_weight = 0.04;
+  double stock_level_weight = 0.08;  ///< read-only snapshot query
+  std::size_t items_per_order = 4;
+
+  double txn_per_second_per_site = 120.0;
+  SimTime mean_exec_time = 3 * kMillisecond;
+  SimTime mean_query_exec_time = 6 * kMillisecond;
+  SimTime duration = 2 * kSecond;
+  double warehouse_skew_theta = 0.0;  ///< Zipf over warehouses (home-warehouse affinity)
+};
+
+/// Per-transaction-type counters reported by the driver.
+struct MixStats {
+  std::uint64_t new_orders = 0;
+  std::uint64_t payments = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t stock_level_queries = 0;
+  std::int64_t payment_volume = 0;  ///< total amount across submitted payments
+};
+
+/// Drives the TPC-C-lite mix against a cluster (any engine).
+class TpccDriver {
+ public:
+  TpccDriver(Cluster& cluster, Layout layout, MixConfig config, std::uint64_t seed);
+
+  /// Registers procedures, loads initial state, schedules the client streams.
+  void start();
+
+  const MixStats& stats() const { return stats_; }
+  const Procedures& procedures() const { return procs_; }
+  const Layout& layout() const { return layout_; }
+
+  /// Audit: checks the conservation invariants on `site`'s committed state.
+  /// Returns human-readable violations (empty = consistent).
+  std::vector<std::string> audit(SiteId site);
+
+ private:
+  void schedule_next(SiteId site, SimTime horizon);
+  void submit_one(SiteId site);
+
+  Cluster& cluster_;
+  Layout layout_;
+  MixConfig config_;
+  std::vector<Rng> site_rngs_;
+  Procedures procs_;
+  MixStats stats_;
+  bool started_ = false;
+};
+
+}  // namespace otpdb::tpcc

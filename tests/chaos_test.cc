@@ -1,0 +1,87 @@
+// Chaos schedule: randomized crash/recovery sequences, network turbulence and
+// load on an OTP cluster, with the full correctness battery applied at the
+// end. Each seed generates a different fault schedule; the invariants
+// (Theorem 4.2 serializability, state convergence, exact conservation) must
+// hold on every one.
+#include <gtest/gtest.h>
+
+#include "checker/history.h"
+#include "core/cluster.h"
+#include "util/rng.h"
+#include "workload/tpcc_lite.h"
+
+namespace otpdb {
+namespace {
+
+class ChaosSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosSweep, InvariantsSurviveRandomFaultSchedules) {
+  const std::uint64_t seed = GetParam();
+  Rng chaos(seed * 7919);
+
+  ClusterConfig config;
+  config.n_sites = 5;  // tolerate f = 2
+  config.n_classes = 4;
+  tpcc::Layout layout;
+  config.objects_per_class = layout.objects_per_warehouse();
+  config.seed = seed;
+  config.net.hiccup_prob = chaos.uniform_double(0.02, 0.25);
+  config.net.hiccup_mean = chaos.uniform_int(1, 4) * kMillisecond;
+  config.opt.consensus.round_timeout = 15 * kMillisecond;
+  Cluster cluster(config);
+  HistoryRecorder recorder(cluster);
+
+  tpcc::MixConfig mix;
+  mix.txn_per_second_per_site = 60;
+  mix.duration = 2 * kSecond;
+  tpcc::TpccDriver driver(cluster, layout, mix, seed + 5);
+  driver.start();
+
+  // Random fault schedule: 2-3 crash/recover episodes on sites 3 and 4
+  // (clients submit at sites 0-2, which stay up, so no requests are lost
+  // with their acceptor).
+  const int episodes = static_cast<int>(chaos.uniform_int(2, 3));
+  SimTime t = 200 * kMillisecond;
+  for (int e = 0; e < episodes; ++e) {
+    const SiteId victim = static_cast<SiteId>(chaos.uniform_int(3, 4));
+    const SimTime down_at = t + chaos.uniform_int(0, 200) * kMillisecond;
+    const SimTime up_at = down_at + chaos.uniform_int(150, 500) * kMillisecond;
+    cluster.sim().schedule_at(down_at, [&cluster, victim] {
+      if (!cluster.net().crashed(victim)) cluster.crash_site(victim);
+    });
+    cluster.sim().schedule_at(up_at, [&cluster, victim] {
+      if (cluster.net().crashed(victim)) cluster.recover_site(victim);
+    });
+    t = up_at + 100 * kMillisecond;
+  }
+
+  cluster.run_for(std::max<SimTime>(mix.duration, t) + kSecond);
+  ASSERT_TRUE(cluster.quiesce(180 * kSecond)) << "seed " << seed;
+  cluster.run_for(2 * kSecond);  // settle recoveries
+
+  // Correctness battery.
+  const CheckResult serializability = check_one_copy_serializability(recorder.site_logs());
+  EXPECT_TRUE(serializability.ok()) << "seed " << seed << ": " << serializability.summary();
+
+  std::vector<const VersionedStore*> stores;
+  for (SiteId s = 0; s < cluster.site_count(); ++s) stores.push_back(&cluster.store(s));
+  const CheckResult convergence = compare_final_states(stores, cluster.catalog());
+  EXPECT_TRUE(convergence.ok()) << "seed " << seed << ": " << convergence.summary();
+
+  for (SiteId s = 0; s < cluster.site_count(); ++s) {
+    const auto violations = driver.audit(s);
+    EXPECT_TRUE(violations.empty()) << "seed " << seed << " site " << s << ": "
+                                    << (violations.empty() ? "" : violations[0]);
+  }
+  // The always-up sites committed everything that was submitted there.
+  EXPECT_GT(cluster.replica(0).metrics().committed, 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& param_info) {
+                           return "seed" + std::to_string(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace otpdb

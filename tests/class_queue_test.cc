@@ -1,0 +1,147 @@
+// Unit tests for the class queue and its CC10 reordering primitive.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/class_queue.h"
+
+namespace otpdb {
+namespace {
+
+std::unique_ptr<TxnRecord> make_txn(std::uint64_t seq, DeliveryState deliv) {
+  auto t = std::make_unique<TxnRecord>();
+  t->id = MsgId{0, seq};
+  t->deliv = deliv;
+  return t;
+}
+
+TEST(ClassQueue, AppendAndHead) {
+  ClassQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.head(), nullptr);
+  auto t1 = make_txn(1, DeliveryState::pending);
+  q.append(t1.get());
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.head(), t1.get());
+  EXPECT_TRUE(q.contains(t1.get()));
+}
+
+TEST(ClassQueue, RemoveHead) {
+  ClassQueue q;
+  auto t1 = make_txn(1, DeliveryState::pending);
+  auto t2 = make_txn(2, DeliveryState::pending);
+  q.append(t1.get());
+  q.append(t2.get());
+  q.remove_head(t1.get());
+  EXPECT_EQ(q.head(), t2.get());
+  EXPECT_FALSE(q.contains(t1.get()));
+}
+
+TEST(ClassQueue, RemoveNonHeadDies) {
+  ClassQueue q;
+  auto t1 = make_txn(1, DeliveryState::pending);
+  auto t2 = make_txn(2, DeliveryState::pending);
+  q.append(t1.get());
+  q.append(t2.get());
+  EXPECT_DEATH(q.remove_head(t2.get()), "");
+}
+
+TEST(ClassQueue, ReorderToFrontWhenAllPending) {
+  // Paper CC10 with an all-pending queue: the newly committable transaction
+  // moves to the head.
+  ClassQueue q;
+  auto t1 = make_txn(1, DeliveryState::pending);
+  auto t2 = make_txn(2, DeliveryState::pending);
+  auto t3 = make_txn(3, DeliveryState::pending);
+  q.append(t1.get());
+  q.append(t2.get());
+  q.append(t3.get());
+  t3->deliv = DeliveryState::committable;
+  EXPECT_TRUE(q.reorder_before_first_pending(t3.get()));
+  EXPECT_EQ(q.head(), t3.get());
+  EXPECT_EQ(q.at(1), t1.get());
+  EXPECT_EQ(q.at(2), t2.get());
+  q.check_invariants();
+}
+
+TEST(ClassQueue, ReorderAfterCommittablePrefix) {
+  // Paper example 1: CQ = T1[a,c], T2[a,p], T3[a,p]; T3 TO-delivered next
+  // slots in between T1 and T2.
+  ClassQueue q;
+  auto t1 = make_txn(1, DeliveryState::committable);
+  auto t2 = make_txn(2, DeliveryState::pending);
+  auto t3 = make_txn(3, DeliveryState::pending);
+  q.append(t1.get());
+  q.append(t2.get());
+  q.append(t3.get());
+  t3->deliv = DeliveryState::committable;
+  EXPECT_TRUE(q.reorder_before_first_pending(t3.get()));
+  EXPECT_EQ(q.at(0), t1.get());
+  EXPECT_EQ(q.at(1), t3.get());
+  EXPECT_EQ(q.at(2), t2.get());
+  q.check_invariants();
+}
+
+TEST(ClassQueue, ReorderNoopWhenAlreadyPlaced) {
+  // A transaction TO-delivered in tentative order does not move.
+  ClassQueue q;
+  auto t1 = make_txn(1, DeliveryState::committable);
+  auto t2 = make_txn(2, DeliveryState::pending);
+  q.append(t1.get());
+  q.append(t2.get());
+  t2->deliv = DeliveryState::committable;
+  EXPECT_FALSE(q.reorder_before_first_pending(t2.get()));
+  EXPECT_EQ(q.at(0), t1.get());
+  EXPECT_EQ(q.at(1), t2.get());
+}
+
+TEST(ClassQueue, ReorderHeadIsNoop) {
+  ClassQueue q;
+  auto t1 = make_txn(1, DeliveryState::pending);
+  auto t2 = make_txn(2, DeliveryState::pending);
+  q.append(t1.get());
+  q.append(t2.get());
+  t1->deliv = DeliveryState::committable;
+  EXPECT_FALSE(q.reorder_before_first_pending(t1.get()));
+  EXPECT_EQ(q.head(), t1.get());
+}
+
+TEST(ClassQueue, ReorderMissingTxnDies) {
+  ClassQueue q;
+  auto t1 = make_txn(1, DeliveryState::committable);
+  EXPECT_DEATH(q.reorder_before_first_pending(t1.get()), "missing");
+}
+
+TEST(ClassQueue, InvariantViolationCommittableSuffixDies) {
+  ClassQueue q;
+  auto t1 = make_txn(1, DeliveryState::pending);
+  auto t2 = make_txn(2, DeliveryState::committable);
+  q.append(t1.get());
+  q.append(t2.get());
+  EXPECT_DEATH(q.check_invariants(), "prefix");
+}
+
+TEST(ClassQueue, InvariantViolationNonHeadRunningDies) {
+  ClassQueue q;
+  auto t1 = make_txn(1, DeliveryState::committable);
+  auto t2 = make_txn(2, DeliveryState::pending);
+  t2->running = true;
+  q.append(t1.get());
+  q.append(t2.get());
+  EXPECT_DEATH(q.check_invariants(), "head");
+}
+
+TEST(ClassQueue, IterationOrder) {
+  ClassQueue q;
+  std::vector<std::unique_ptr<TxnRecord>> txns;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    txns.push_back(make_txn(i, DeliveryState::pending));
+    q.append(txns.back().get());
+  }
+  std::uint64_t expect = 0;
+  for (const TxnRecord* t : q) EXPECT_EQ(t->id.seq, expect++);
+}
+
+}  // namespace
+}  // namespace otpdb

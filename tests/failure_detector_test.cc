@@ -1,0 +1,100 @@
+// Unit tests for the heartbeat failure detector.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "abcast/failure_detector.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace otpdb {
+namespace {
+
+struct FdFixture {
+  FdFixture(std::size_t n, std::uint64_t seed = 1) : net(sim, n, NetConfig{}, Rng(seed)) {
+    for (SiteId s = 0; s < n; ++s) {
+      fds.push_back(std::make_unique<FailureDetector>(sim, net, s, FailureDetectorConfig{}));
+    }
+    for (auto& fd : fds) fd->start();
+  }
+  Simulator sim;
+  Network net;
+  std::vector<std::unique_ptr<FailureDetector>> fds;
+};
+
+TEST(FailureDetector, NoSuspicionsWhenAllAlive) {
+  FdFixture f(4);
+  f.sim.run_until(2 * kSecond);
+  for (SiteId a = 0; a < 4; ++a) {
+    for (SiteId b = 0; b < 4; ++b) {
+      EXPECT_FALSE(f.fds[a]->suspects(b)) << a << " suspects " << b;
+    }
+  }
+  EXPECT_EQ(f.fds[0]->alive_count(), 4u);
+}
+
+TEST(FailureDetector, CrashedSiteEventuallySuspected) {
+  FdFixture f(4);
+  f.sim.run_until(500 * kMillisecond);
+  f.net.crash(2);
+  f.sim.run_until(1 * kSecond);
+  for (SiteId a : {0u, 1u, 3u}) EXPECT_TRUE(f.fds[a]->suspects(2)) << "site " << a;
+  EXPECT_EQ(f.fds[0]->alive_count(), 3u);
+}
+
+TEST(FailureDetector, NeverSuspectsSelf) {
+  FdFixture f(3);
+  f.net.crash(0);  // even its own crash: a crashed process does not observe itself
+  f.sim.run_until(2 * kSecond);
+  EXPECT_FALSE(f.fds[0]->suspects(0));
+}
+
+TEST(FailureDetector, SuspicionRevisedAfterRecovery) {
+  FdFixture f(3);
+  f.sim.run_until(200 * kMillisecond);
+  f.net.crash(1);
+  f.sim.run_until(1 * kSecond);
+  ASSERT_TRUE(f.fds[0]->suspects(1));
+  f.net.recover(1);
+  f.sim.run_until(2 * kSecond);
+  EXPECT_FALSE(f.fds[0]->suspects(1)) << "heartbeats resumed, suspicion must lift";
+}
+
+TEST(FailureDetector, CallbacksFire) {
+  FdFixture f(3);
+  int suspected = 0, restored = 0;
+  f.fds[0]->set_on_suspect([&](SiteId s) {
+    EXPECT_EQ(s, 1u);
+    ++suspected;
+  });
+  f.fds[0]->set_on_restore([&](SiteId s) {
+    EXPECT_EQ(s, 1u);
+    ++restored;
+  });
+  f.sim.run_until(200 * kMillisecond);
+  f.net.crash(1);
+  f.sim.run_until(1 * kSecond);
+  f.net.recover(1);
+  f.sim.run_until(2 * kSecond);
+  EXPECT_EQ(suspected, 1);
+  EXPECT_EQ(restored, 1);
+}
+
+TEST(FailureDetector, PartitionLooksLikeCrash) {
+  FdFixture f(4);
+  f.sim.run_until(200 * kMillisecond);
+  f.net.partition({0, 1}, {2, 3});
+  f.sim.run_until(1 * kSecond);
+  EXPECT_TRUE(f.fds[0]->suspects(2));
+  EXPECT_TRUE(f.fds[0]->suspects(3));
+  EXPECT_FALSE(f.fds[0]->suspects(1));
+  EXPECT_TRUE(f.fds[2]->suspects(0));
+  f.net.heal_partition();
+  f.sim.run_until(2 * kSecond);
+  EXPECT_FALSE(f.fds[0]->suspects(2)) << "eventual accuracy after healing";
+}
+
+}  // namespace
+}  // namespace otpdb

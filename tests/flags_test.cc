@@ -1,0 +1,70 @@
+// Unit tests for the command-line flag parser.
+#include <gtest/gtest.h>
+
+#include "util/flags.h"
+
+namespace otpdb {
+namespace {
+
+Flags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  for (const char* a : args) argv.push_back(a);
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsForm) {
+  const Flags f = parse({"--sites=4", "--rate=12.5", "--engine=lazy"});
+  EXPECT_EQ(f.get_int("sites", 0), 4);
+  EXPECT_DOUBLE_EQ(f.get_double("rate", 0), 12.5);
+  EXPECT_EQ(f.get("engine", ""), "lazy");
+}
+
+TEST(Flags, SpaceForm) {
+  const Flags f = parse({"--sites", "8", "--engine", "otp"});
+  EXPECT_EQ(f.get_int("sites", 0), 8);
+  EXPECT_EQ(f.get("engine", ""), "otp");
+}
+
+TEST(Flags, BareBoolean) {
+  const Flags f = parse({"--verbose", "--quiet=false"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_FALSE(f.get_bool("quiet", true));
+  EXPECT_TRUE(f.get_bool("missing", true));
+}
+
+TEST(Flags, BooleanSpellings) {
+  EXPECT_FALSE(parse({"--x=0"}).get_bool("x", true));
+  EXPECT_FALSE(parse({"--x=no"}).get_bool("x", true));
+  EXPECT_TRUE(parse({"--x=yes"}).get_bool("x", false));
+}
+
+TEST(Flags, Positionals) {
+  const Flags f = parse({"run", "--sites=2", "extra"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "run");
+  EXPECT_EQ(f.positional()[1], "extra");
+}
+
+TEST(Flags, Fallbacks) {
+  const Flags f = parse({});
+  EXPECT_EQ(f.get("absent", "dflt"), "dflt");
+  EXPECT_EQ(f.get_int("absent", 9), 9);
+  EXPECT_FALSE(f.has("absent"));
+}
+
+TEST(Flags, KeysEnumerates) {
+  const Flags f = parse({"--b=1", "--a=2"});
+  const auto keys = f.keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a");  // map order
+  EXPECT_EQ(keys[1], "b");
+}
+
+TEST(Flags, NegativeNumberAsValue) {
+  const Flags f = parse({"--crash-site", "-1"});
+  // "-1" does not start with "--", so the space form consumes it.
+  EXPECT_EQ(f.get_int("crash-site", 0), -1);
+}
+
+}  // namespace
+}  // namespace otpdb

@@ -1,0 +1,147 @@
+// Unit tests for the discrete-event simulator.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace otpdb {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, EventsFireInTimestampOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, EqualTimestampsFireFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    sim.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  SimTime fired_at = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_after(50, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelTwiceFails) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(10, [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, CancelAfterFireFails) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(10, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  for (SimTime t : {10, 20, 30, 40}) {
+    sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now()); });
+  }
+  sim.run_until(25);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(sim.now(), 25);
+  sim.run_until(100);
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Simulator, RunUntilAdvancesTimeWithEmptyQueue) {
+  Simulator sim;
+  sim.run_until(500);
+  EXPECT_EQ(sim.now(), 500);
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) sim.schedule_after(1, recurse);
+  };
+  sim.schedule_at(0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.now(), 9);
+}
+
+TEST(Simulator, RunWithLimitStopsEarly) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) sim.schedule_at(i, [&] { ++count; });
+  EXPECT_EQ(sim.run(4), 4u);
+  EXPECT_EQ(count, 4);
+  EXPECT_EQ(sim.run(), 6u);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_at(1, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, ExecutedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed(), 7u);
+}
+
+TEST(Simulator, PendingExcludesCancelled) {
+  Simulator sim;
+  const EventId a = sim.schedule_at(1, [] {});
+  sim.schedule_at(2, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, CancelledEventDoesNotBlockRunUntil) {
+  Simulator sim;
+  bool fired = false;
+  const EventId a = sim.schedule_at(10, [&] { fired = true; });
+  sim.cancel(a);
+  sim.schedule_at(20, [&] { fired = true; });
+  sim.run_until(15);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.now(), 15);
+}
+
+}  // namespace
+}  // namespace otpdb

@@ -1,0 +1,213 @@
+// Unit tests for src/util: deterministic RNG, distributions, statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace otpdb {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, SplitIsIndependentButDeterministic) {
+  Rng a(7), b(7);
+  Rng a1 = a.split();
+  Rng b1 = b.split();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a1.next_u64(), b1.next_u64());
+  // The split stream differs from the parent's continuation.
+  Rng c(7);
+  (void)c.next_u64();
+  Rng d(7);
+  Rng d1 = d.split();
+  EXPECT_NE(c.next_u64(), d1.next_u64());
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(9, 9), 9);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRoughlyFair) {
+  Rng rng(17);
+  int heads = 0;
+  for (int i = 0; i < 20000; ++i) heads += rng.bernoulli(0.5);
+  EXPECT_NEAR(heads / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(23);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(29);
+  OnlineStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, NormalAtLeastRespectsFloor) {
+  Rng rng(31);
+  for (int i = 0; i < 5000; ++i) EXPECT_GE(rng.normal_at_least(0.0, 1.0, -0.5), -0.5);
+}
+
+TEST(Rng, ZipfZeroThetaIsUniform) {
+  Rng rng(37);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[rng.zipf(4, 0.0)];
+  for (int c : counts) EXPECT_NEAR(c / 40000.0, 0.25, 0.02);
+}
+
+TEST(Rng, ZipfSkewFavorsLowRanks) {
+  Rng rng(41);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[rng.zipf(8, 1.2)];
+  EXPECT_GT(counts[0], counts[3]);
+  EXPECT_GT(counts[0], counts[7]);
+  EXPECT_GT(counts[0], 40000 / 8);
+}
+
+TEST(Rng, ZipfAlwaysInRange) {
+  Rng rng(43);
+  for (int i = 0; i < 5000; ++i) EXPECT_LT(rng.zipf(5, 0.8), 5u);
+}
+
+TEST(OnlineStats, BasicMoments) {
+  OnlineStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, MergeEqualsConcatenation) {
+  Rng rng(47);
+  OnlineStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(5, 3);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(PercentileTracker, NearestRank) {
+  PercentileTracker p;
+  for (int i = 1; i <= 100; ++i) p.add(i);
+  EXPECT_DOUBLE_EQ(p.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(p.percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(p.percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(p.percentile(0), 1.0);
+}
+
+TEST(PercentileTracker, EmptyReturnsZero) {
+  PercentileTracker p;
+  EXPECT_EQ(p.percentile(50), 0.0);
+}
+
+TEST(PercentileTracker, InterleavedAddAndQuery) {
+  PercentileTracker p;
+  p.add(5);
+  EXPECT_DOUBLE_EQ(p.median(), 5.0);
+  p.add(1);
+  p.add(9);
+  EXPECT_DOUBLE_EQ(p.median(), 5.0);
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1);
+  h.add(0);
+  h.add(5.5);
+  h.add(9.999);
+  h.add(10);
+  h.add(100);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(5), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Histogram, RenderProducesOneLinePerBucket) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(1);
+  h.add(1.5);
+  const std::string s = h.render();
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+}  // namespace
+}  // namespace otpdb

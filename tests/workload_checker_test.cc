@@ -1,0 +1,234 @@
+// Unit tests for the workload generator and the history checkers.
+#include <gtest/gtest.h>
+
+#include "checker/history.h"
+#include "core/cluster.h"
+#include "util/log.h"
+#include "workload/workload.h"
+
+namespace otpdb {
+namespace {
+
+// --- Workload driver ---------------------------------------------------------
+
+TEST(Workload, SubmissionRateMatchesConfig) {
+  ClusterConfig config;
+  config.n_sites = 4;
+  config.seed = 1;
+  Cluster cluster(config);
+  WorkloadConfig wl;
+  wl.updates_per_second_per_site = 200;
+  wl.duration = 2 * kSecond;
+  WorkloadDriver driver(cluster, wl, 9);
+  driver.start();
+  cluster.run_for(wl.duration);
+  // Poisson arrivals: expect 4 * 200 * 2 = 1600 +- a few sigma (sqrt(1600)=40).
+  EXPECT_NEAR(static_cast<double>(driver.updates_submitted()), 1600.0, 200.0);
+}
+
+TEST(Workload, DeterministicPerSeed) {
+  auto submissions = [](std::uint64_t seed) {
+    ClusterConfig config;
+    config.n_sites = 2;
+    config.seed = 5;
+    Cluster cluster(config);
+    WorkloadConfig wl;
+    wl.updates_per_second_per_site = 100;
+    wl.duration = kSecond;
+    WorkloadDriver driver(cluster, wl, seed);
+    driver.start();
+    cluster.run_for(wl.duration);
+    return driver.updates_submitted();
+  };
+  EXPECT_EQ(submissions(7), submissions(7));
+  EXPECT_NE(submissions(7), submissions(8));
+}
+
+TEST(Workload, FixedIntervalArrivals) {
+  ClusterConfig config;
+  config.n_sites = 1;
+  config.seed = 2;
+  Cluster cluster(config);
+  WorkloadConfig wl;
+  wl.updates_per_second_per_site = 100;
+  wl.poisson_arrivals = false;
+  wl.duration = kSecond;
+  WorkloadDriver driver(cluster, wl, 3);
+  driver.start();
+  cluster.run_for(wl.duration);
+  EXPECT_EQ(driver.updates_submitted(), 100u);  // exactly 1/interval
+}
+
+TEST(Workload, QueryFractionProducesQueries) {
+  ClusterConfig config;
+  config.n_sites = 2;
+  config.seed = 3;
+  Cluster cluster(config);
+  WorkloadConfig wl;
+  wl.updates_per_second_per_site = 200;
+  wl.query_fraction = 0.5;
+  wl.duration = kSecond;
+  WorkloadDriver driver(cluster, wl, 4);
+  driver.start();
+  cluster.run_for(wl.duration);
+  const double total =
+      static_cast<double>(driver.updates_submitted() + driver.queries_submitted());
+  EXPECT_GT(total, 100);
+  EXPECT_NEAR(static_cast<double>(driver.queries_submitted()) / total, 0.5, 0.1);
+}
+
+TEST(Workload, ZipfSkewConcentratesClasses) {
+  auto hot_class_share = [](double theta) {
+    ClusterConfig config;
+    config.n_sites = 2;
+    config.n_classes = 8;
+    config.seed = 4;
+    Cluster cluster(config);
+    HistoryRecorder recorder(cluster);
+    WorkloadConfig wl;
+    wl.updates_per_second_per_site = 300;
+    wl.class_skew_theta = theta;
+    wl.mean_exec_time = 100 * kMicrosecond;
+    wl.duration = kSecond;
+    WorkloadDriver driver(cluster, wl, 6);
+    driver.start();
+    cluster.run_for(wl.duration);
+    cluster.quiesce(60 * kSecond);
+    std::map<ClassId, int> counts;
+    for (const auto& r : recorder.site_logs()[0]) ++counts[r.klass];
+    int max_count = 0, total = 0;
+    for (const auto& [klass, c] : counts) {
+      max_count = std::max(max_count, c);
+      total += c;
+    }
+    return static_cast<double>(max_count) / static_cast<double>(total);
+  };
+  EXPECT_GT(hot_class_share(1.5), hot_class_share(0.0) + 0.15);
+}
+
+// --- Checker -----------------------------------------------------------------
+
+CommitRecord make_commit(SiteId site, MsgId txn, ClassId klass, TOIndex index,
+                         std::vector<std::pair<ObjectId, Value>> writes = {}) {
+  CommitRecord r;
+  r.site = site;
+  r.txn = txn;
+  r.klass = klass;
+  r.index = index;
+  r.writes = std::move(writes);
+  return r;
+}
+
+TEST(Checker, AcceptsConsistentHistories) {
+  std::vector<std::vector<CommitRecord>> logs(2);
+  for (SiteId s = 0; s < 2; ++s) {
+    logs[s].push_back(make_commit(s, {0, 1}, 0, 1));
+    logs[s].push_back(make_commit(s, {1, 1}, 0, 3));
+    logs[s].push_back(make_commit(s, {0, 2}, 1, 2));
+  }
+  EXPECT_TRUE(check_one_copy_serializability(logs).ok());
+}
+
+TEST(Checker, AcceptsLaggingPrefix) {
+  std::vector<std::vector<CommitRecord>> logs(2);
+  logs[0].push_back(make_commit(0, {0, 1}, 0, 1));
+  logs[0].push_back(make_commit(0, {1, 1}, 0, 2));
+  logs[1].push_back(make_commit(1, {0, 1}, 0, 1));  // site 1 lags: prefix only
+  EXPECT_TRUE(check_one_copy_serializability(logs).ok());
+}
+
+TEST(Checker, DetectsOrderInversionWithinClass) {
+  std::vector<std::vector<CommitRecord>> logs(1);
+  logs[0].push_back(make_commit(0, {0, 1}, 0, 5));
+  logs[0].push_back(make_commit(0, {1, 1}, 0, 3));  // lower index after higher
+  const auto result = check_one_copy_serializability(logs);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.summary().find("definitive order"), std::string::npos);
+}
+
+TEST(Checker, DetectsCrossSiteDisagreement) {
+  std::vector<std::vector<CommitRecord>> logs(2);
+  logs[0].push_back(make_commit(0, {0, 1}, 0, 1));
+  logs[0].push_back(make_commit(0, {1, 1}, 0, 2));
+  logs[1].push_back(make_commit(1, {1, 1}, 0, 1));  // swapped order at site 1
+  logs[1].push_back(make_commit(1, {0, 1}, 0, 2));
+  EXPECT_FALSE(check_one_copy_serializability(logs).ok());
+}
+
+TEST(Checker, DetectsIndexDisagreement) {
+  std::vector<std::vector<CommitRecord>> logs(2);
+  logs[0].push_back(make_commit(0, {0, 1}, 0, 1));
+  logs[1].push_back(make_commit(1, {0, 1}, 0, 2));  // same txn, different index
+  EXPECT_FALSE(check_one_copy_serializability(logs).ok());
+}
+
+TEST(Checker, DetectsDivergentWrites) {
+  std::vector<std::vector<CommitRecord>> logs(2);
+  logs[0].push_back(make_commit(0, {0, 1}, 0, 1, {{7, Value{std::int64_t{1}}}}));
+  logs[1].push_back(make_commit(1, {0, 1}, 0, 1, {{7, Value{std::int64_t{2}}}}));
+  const auto result = check_one_copy_serializability(logs);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.summary().find("divergent write"), std::string::npos);
+}
+
+TEST(Checker, DetectsDoubleCommit) {
+  std::vector<std::vector<CommitRecord>> logs(1);
+  logs[0].push_back(make_commit(0, {0, 1}, 0, 1));
+  logs[0].push_back(make_commit(0, {0, 1}, 0, 2));
+  EXPECT_FALSE(check_one_copy_serializability(logs).ok());
+}
+
+TEST(Checker, ObjectLevelAllowsClassReordering) {
+  // Two txns of the same class but disjoint objects commit in different
+  // orders at the two sites: fine at object granularity.
+  std::vector<std::vector<CommitRecord>> logs(2);
+  logs[0].push_back(make_commit(0, {0, 1}, 0, 1, {{1, Value{std::int64_t{1}}}}));
+  logs[0].push_back(make_commit(0, {1, 1}, 0, 2, {{2, Value{std::int64_t{1}}}}));
+  logs[1].push_back(make_commit(1, {1, 1}, 0, 2, {{2, Value{std::int64_t{1}}}}));
+  logs[1].push_back(make_commit(1, {0, 1}, 0, 1, {{1, Value{std::int64_t{1}}}}));
+  EXPECT_FALSE(check_one_copy_serializability(logs).ok()) << "class checker flags it";
+  EXPECT_TRUE(check_object_level_serializability(logs).ok()) << "object checker accepts it";
+}
+
+TEST(Checker, ObjectLevelDetectsWriterInversion) {
+  std::vector<std::vector<CommitRecord>> logs(2);
+  logs[0].push_back(make_commit(0, {0, 1}, 0, 1, {{5, Value{std::int64_t{1}}}}));
+  logs[0].push_back(make_commit(0, {1, 1}, 0, 2, {{5, Value{std::int64_t{2}}}}));
+  logs[1].push_back(make_commit(1, {1, 1}, 0, 2, {{5, Value{std::int64_t{2}}}}));
+  logs[1].push_back(make_commit(1, {0, 1}, 0, 1, {{5, Value{std::int64_t{1}}}}));
+  EXPECT_FALSE(check_object_level_serializability(logs).ok())
+      << "shared-object writers must follow the definitive order everywhere";
+}
+
+TEST(Checker, FinalStateComparison) {
+  PartitionCatalog catalog(1, 2);
+  VersionedStore a, b;
+  a.load(0, Value{std::int64_t{1}});
+  b.load(0, Value{std::int64_t{1}});
+  EXPECT_TRUE(compare_final_states({&a, &b}, catalog).ok());
+  const MsgId txn{0, 1};
+  b.write(txn, 1, Value{std::int64_t{9}});
+  b.commit(txn, 1);
+  const auto result = compare_final_states({&a, &b}, catalog);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.violations.size(), 1u);
+}
+
+// --- Logging -----------------------------------------------------------------
+
+TEST(Log, SinkAndLevelFiltering) {
+  std::vector<std::string> captured;
+  Log::set_sink([&](LogLevel, const std::string& msg) { captured.push_back(msg); });
+  Log::set_level(LogLevel::info);
+  OTPDB_DEBUG("t") << "hidden";
+  OTPDB_INFO("t") << "shown " << 42;
+  OTPDB_ERROR("t") << "also shown";
+  Log::set_sink(nullptr);
+  Log::set_level(LogLevel::warn);
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0], "[t] shown 42");
+  EXPECT_EQ(captured[1], "[t] also shown");
+}
+
+}  // namespace
+}  // namespace otpdb

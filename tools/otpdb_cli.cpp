@@ -1,0 +1,248 @@
+// otpdb_cli - run configurable replicated-database experiments from the
+// command line, without writing any C++.
+//
+// Subcommands:
+//   run        generic read-modify-write workload on a chosen engine
+//   tpcc       the TPC-C-lite order-entry mix with conservation audit
+//   spontorder the Figure-1 spontaneous-order measurement
+//
+// Examples:
+//   otpdb_cli run --engine=otp --sites=4 --classes=8 --rate=200 --seconds=3
+//   otpdb_cli run --engine=lazy --classes=1 --hiccup=0.2
+//   otpdb_cli tpcc --warehouses=8 --sites=4 --skew=0.8
+//   otpdb_cli spontorder --interval-ms=2
+//
+// Every run is deterministic for a given --seed.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "abcast/opt_abcast.h"
+#include "baseline/conservative_replica.h"
+#include "baseline/lazy_replica.h"
+#include "checker/history.h"
+#include "core/lock_table_replica.h"
+#include "net/spontaneous_order.h"
+#include "util/flags.h"
+#include "workload/tpcc_lite.h"
+#include "workload/workload.h"
+
+using namespace otpdb;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: otpdb_cli <run|tpcc|spontorder> [--flags]\n"
+               "  run:        --engine=otp|conservative|lazy|locktable --sites=N\n"
+               "              --classes=N --objects=N --rate=TXN/S/SITE --seconds=S\n"
+               "              --exec-ms=MS --query-frac=F --skew=THETA --hiccup=P\n"
+               "              --abcast=opt|sequencer --seed=N --crash-site=S --crash-ms=T\n"
+               "  tpcc:       --warehouses=N --sites=N --rate=TXN/S/SITE --seconds=S\n"
+               "              --skew=THETA --seed=N\n"
+               "  spontorder: --interval-ms=MS --messages=N --sites=N --seed=N\n");
+  return 2;
+}
+
+ReplicaFactory make_factory(const std::string& engine) {
+  if (engine == "conservative") {
+    return [](const ReplicaDeps& d) {
+      return std::make_unique<ConservativeReplica>(d.sim, d.abcast, d.store, d.catalog,
+                                                   d.registry, d.site);
+    };
+  }
+  if (engine == "lazy") {
+    return [](const ReplicaDeps& d) {
+      return std::make_unique<LazyReplica>(d.sim, d.net, d.store, d.catalog, d.registry,
+                                           d.site);
+    };
+  }
+  if (engine == "locktable") {
+    return [](const ReplicaDeps& d) {
+      return std::make_unique<LockTableReplica>(d.sim, d.abcast, d.store, d.catalog,
+                                                d.registry, d.site,
+                                                rmw_access_extractor(d.catalog));
+    };
+  }
+  return nullptr;  // otp default
+}
+
+void print_cluster_summary(Cluster& cluster, double seconds, bool lazy_engine) {
+  std::uint64_t committed = 0, aborts = 0, redo = 0, reorders = 0;
+  OnlineStats latency, gap, query_latency;
+  for (SiteId s = 0; s < cluster.site_count(); ++s) {
+    const ReplicaMetrics& m = cluster.replica(s).metrics();
+    committed += m.committed;
+    aborts += m.aborts;
+    redo += m.reexecutions;
+    reorders += m.mismatch_reorders;
+    latency.merge(m.commit_latency_ns);
+    gap.merge(m.opt_to_gap_ns);
+    query_latency.merge(m.query_latency_ns);
+  }
+  const double goodput =
+      lazy_engine ? static_cast<double>(committed) / seconds
+                  : static_cast<double>(committed) /
+                        static_cast<double>(cluster.site_count()) / seconds;
+  std::printf("  goodput            : %.1f txn/s (cluster-wide)\n", goodput);
+  std::printf("  commit latency     : mean %.2f ms, max %.2f ms\n", latency.mean() / 1e6,
+              latency.max() / 1e6);
+  if (gap.count() > 0) {
+    std::printf("  opt->TO gap        : mean %.2f ms\n", gap.mean() / 1e6);
+  }
+  std::printf("  optimistic aborts  : %llu (re-executions %llu, reorders %llu)\n",
+              static_cast<unsigned long long>(aborts), static_cast<unsigned long long>(redo),
+              static_cast<unsigned long long>(reorders));
+  if (query_latency.count() > 0) {
+    std::printf("  query latency      : mean %.2f ms over %zu queries\n",
+                query_latency.mean() / 1e6, query_latency.count());
+  }
+  if (auto* opt = dynamic_cast<OptAbcast*>(&cluster.abcast(0))) {
+    const auto& cs = opt->consensus_stats();
+    if (cs.instances_decided > 0) {
+      std::printf("  ordering fast path : %.1f%% of %llu stages\n",
+                  100.0 * static_cast<double>(cs.fast_decides) /
+                      static_cast<double>(cs.instances_decided),
+                  static_cast<unsigned long long>(cs.instances_decided));
+    }
+  }
+}
+
+int cmd_run(const Flags& flags) {
+  const std::string engine = flags.get("engine", "otp");
+  ClusterConfig config;
+  config.n_sites = static_cast<std::size_t>(flags.get_int("sites", 4));
+  config.n_classes = static_cast<std::size_t>(flags.get_int("classes", 8));
+  config.objects_per_class = static_cast<std::uint64_t>(flags.get_int("objects", 32));
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  config.net.hiccup_prob = flags.get_double("hiccup", config.net.hiccup_prob);
+  config.abcast =
+      flags.get("abcast", "opt") == "sequencer" ? AbcastKind::sequencer : AbcastKind::optimistic;
+
+  ReplicaFactory factory = make_factory(engine);
+  auto cluster = factory ? std::make_unique<Cluster>(config, std::move(factory))
+                         : std::make_unique<Cluster>(config);
+  HistoryRecorder recorder(*cluster);
+
+  WorkloadConfig wl;
+  wl.updates_per_second_per_site = flags.get_double("rate", 100.0);
+  wl.mean_exec_time = static_cast<SimTime>(flags.get_double("exec-ms", 3.0) * 1e6);
+  wl.query_fraction = flags.get_double("query-frac", 0.0);
+  wl.class_skew_theta = flags.get_double("skew", 0.0);
+  wl.duration = static_cast<SimTime>(flags.get_double("seconds", 2.0) * 1e9);
+  WorkloadDriver driver(*cluster, wl, config.seed * 7 + 3);
+  driver.start();
+
+  const auto crash_site = flags.get_int("crash-site", -1);
+  if (crash_site >= 0) {
+    const SimTime crash_at = static_cast<SimTime>(flags.get_double("crash-ms", 500.0) * 1e6);
+    cluster->sim().schedule_at(crash_at, [&cluster, crash_site] {
+      cluster->crash_site(static_cast<SiteId>(crash_site));
+      std::printf("  !! crashed site %lld\n", static_cast<long long>(crash_site));
+    });
+    const SimTime recover_at = crash_at + 300 * kMillisecond;
+    cluster->sim().schedule_at(recover_at, [&cluster, crash_site] {
+      cluster->recover_site(static_cast<SiteId>(crash_site));
+      std::printf("  !! recovered site %lld\n", static_cast<long long>(crash_site));
+    });
+  }
+
+  cluster->run_for(wl.duration);
+  const bool drained = cluster->quiesce(120 * kSecond);
+  cluster->run_for(kSecond);
+
+  std::printf("run: engine=%s sites=%zu classes=%zu rate=%.0f/s/site seed=%llu\n",
+              engine.c_str(), config.n_sites, config.n_classes,
+              wl.updates_per_second_per_site,
+              static_cast<unsigned long long>(config.seed));
+  std::printf("  submitted          : %llu updates, %llu queries%s\n",
+              static_cast<unsigned long long>(driver.updates_submitted()),
+              static_cast<unsigned long long>(driver.queries_submitted()),
+              drained ? "" : "  (WARNING: did not drain)");
+  const double seconds = static_cast<double>(cluster->sim().now()) / 1e9;
+  print_cluster_summary(*cluster, seconds, engine == "lazy");
+
+  const auto check = engine == "locktable"
+                         ? check_object_level_serializability(recorder.site_logs())
+                         : check_one_copy_serializability(recorder.site_logs());
+  std::printf("  serializability    : %s\n", check.ok() ? "1-copy-serializable" : "VIOLATED");
+  if (!check.ok()) std::printf("%s\n", check.summary().c_str());
+  return 0;
+}
+
+int cmd_tpcc(const Flags& flags) {
+  ClusterConfig config;
+  config.n_sites = static_cast<std::size_t>(flags.get_int("sites", 4));
+  config.n_classes = static_cast<std::size_t>(flags.get_int("warehouses", 8));
+  tpcc::Layout layout;
+  config.objects_per_class = layout.objects_per_warehouse();
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  Cluster cluster(config);
+
+  tpcc::MixConfig mix;
+  mix.txn_per_second_per_site = flags.get_double("rate", 120.0);
+  mix.duration = static_cast<SimTime>(flags.get_double("seconds", 2.0) * 1e9);
+  mix.warehouse_skew_theta = flags.get_double("skew", 0.0);
+  tpcc::TpccDriver driver(cluster, layout, mix, config.seed + 41);
+  driver.start();
+  cluster.run_for(mix.duration);
+  const bool drained = cluster.quiesce(120 * kSecond);
+
+  const auto& stats = driver.stats();
+  std::printf("tpcc: %zu warehouses, %zu sites, %.0f txn/s/site%s\n", config.n_classes,
+              config.n_sites, mix.txn_per_second_per_site,
+              drained ? "" : "  (WARNING: did not drain)");
+  std::printf("  mix submitted      : %llu NewOrder / %llu Payment / %llu Delivery / "
+              "%llu StockLevel\n",
+              static_cast<unsigned long long>(stats.new_orders),
+              static_cast<unsigned long long>(stats.payments),
+              static_cast<unsigned long long>(stats.deliveries),
+              static_cast<unsigned long long>(stats.stock_level_queries));
+  print_cluster_summary(cluster, static_cast<double>(cluster.sim().now()) / 1e9, false);
+  bool clean = true;
+  for (SiteId s = 0; s < cluster.site_count(); ++s) clean &= driver.audit(s).empty();
+  std::printf("  conservation audit : %s\n", clean ? "clean at every site" : "VIOLATED");
+  return clean ? 0 : 1;
+}
+
+int cmd_spontorder(const Flags& flags) {
+  struct Blank final : Payload {};
+  const std::size_t sites = static_cast<std::size_t>(flags.get_int("sites", 4));
+  const int per_site = static_cast<int>(flags.get_int("messages", 400));
+  const double interval_ms = flags.get_double("interval-ms", 2.0);
+  const SimTime interval = interval_ms <= 0.0
+                               ? static_cast<SimTime>(sites) * 100 * kMicrosecond
+                               : static_cast<SimTime>(interval_ms * 1e6);
+  Simulator sim;
+  Network net(sim, sites, NetConfig{}, Rng(static_cast<std::uint64_t>(flags.get_int("seed", 1))));
+  for (SiteId s = 0; s < sites; ++s) net.subscribe(s, 0, [](const Message&) {});
+  net.record_arrivals(0);
+  for (SiteId s = 0; s < sites; ++s) {
+    const SimTime phase = static_cast<SimTime>(s) * interval / static_cast<SimTime>(sites);
+    for (int i = 0; i < per_site; ++i) {
+      sim.schedule_at(phase + static_cast<SimTime>(i) * interval,
+                      [&net, s] { net.multicast(s, 0, std::make_shared<Blank>()); });
+    }
+  }
+  sim.run();
+  const auto stats = analyze_spontaneous_order(net.arrival_logs());
+  std::printf("spontorder: %zu sites, %d msgs/site, interval %.2f ms\n", sites, per_site,
+              interval_ms);
+  std::printf("  spontaneously ordered (pair agreement) : %.2f%%\n",
+              100.0 * stats.pair_agreement());
+  std::printf("  identical arrival rank at all sites    : %.2f%%\n",
+              100.0 * stats.position_agreement());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Flags flags(argc - 1, argv + 1);
+  if (cmd == "run") return cmd_run(flags);
+  if (cmd == "tpcc") return cmd_tpcc(flags);
+  if (cmd == "spontorder") return cmd_spontorder(flags);
+  return usage();
+}
