@@ -11,6 +11,7 @@
 #include "abcast/opt_abcast.h"
 #include "core/class_queue.h"
 #include "core/cluster.h"
+#include "db/txn_interner.h"
 #include "db/versioned_store.h"
 #include "net/network.h"
 #include "sim/simulator.h"
@@ -44,10 +45,10 @@ void BM_SimulatorScheduleAndRun(benchmark::State& state) {
 BENCHMARK(BM_SimulatorScheduleAndRun);
 
 void BM_StoreWriteCommit(benchmark::State& state) {
-  VersionedStore store;
+  VersionedStore store(128);
   TOIndex index = 1;
   for (auto _ : state) {
-    const MsgId txn{0, index};
+    const TxnId txn = 0;  // dense ids recycle; same slot reused every commit
     store.write(txn, index % 128, Value{static_cast<std::int64_t>(index)});
     store.commit(txn, index);
     ++index;
@@ -57,19 +58,48 @@ void BM_StoreWriteCommit(benchmark::State& state) {
 BENCHMARK(BM_StoreWriteCommit);
 
 void BM_StoreSnapshotRead(benchmark::State& state) {
-  VersionedStore store;
+  VersionedStore store(16);
   for (TOIndex i = 1; i <= 1024; ++i) {
-    const MsgId txn{0, i};
-    store.write(txn, i % 16, Value{static_cast<std::int64_t>(i)});
-    store.commit(txn, i);
+    store.write(0, i % 16, Value{static_cast<std::int64_t>(i)});
+    store.commit(0, i);
   }
   TOIndex snap = 1;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(store.read_snapshot(snap % 16, snap % 1024));
+    benchmark::DoNotOptimize(store.read_snapshot_ptr(snap % 16, snap % 1024));
     ++snap;
   }
 }
 BENCHMARK(BM_StoreSnapshotRead);
+
+void BM_StoreReadForTxn(benchmark::State& state) {
+  // Transaction-scoped read with a populated write-set: the inner loop of
+  // every stored procedure (read-your-writes check + committed fallback).
+  VersionedStore store(64);
+  for (ObjectId obj = 0; obj < 64; ++obj) store.load(obj, Value{std::int64_t{1}});
+  const TxnId txn = 0;
+  for (ObjectId obj = 0; obj < 4; ++obj) store.write(txn, obj, Value{std::int64_t{2}});
+  ObjectId obj = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.read_for_txn_ptr(txn, obj % 64));
+    ++obj;
+  }
+}
+BENCHMARK(BM_StoreReadForTxn);
+
+void BM_TxnInternerRoundTrip(benchmark::State& state) {
+  // intern -> lookup -> release, the per-transaction identity cost of the
+  // dense-id scheme (one hash at Opt-deliver, one at TO-deliver).
+  TxnIdInterner interner;
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    const MsgId id{0, seq++};
+    const TxnId tid = interner.intern(id);
+    benchmark::DoNotOptimize(interner.find(id));
+    interner.release(tid);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TxnInternerRoundTrip);
 
 void BM_ClassQueueReorder(benchmark::State& state) {
   const auto depth = static_cast<std::size_t>(state.range(0));

@@ -18,11 +18,16 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
+#include <utility>
 
 #include "net/message.h"
 #include "util/types.h"
 
 namespace otpdb {
+
+/// One definitive delivery: message id + its definitive index.
+using ToDelivery = std::pair<MsgId, TOIndex>;
 
 /// Delivery callbacks registered by the application (the transaction manager).
 struct AbcastCallbacks {
@@ -31,7 +36,26 @@ struct AbcastCallbacks {
   /// Definitive delivery confirmation: message id + its definitive index.
   /// Indices are contiguous from 1 and identical at all sites.
   std::function<void(const MsgId&, TOIndex)> to_deliver;
+  /// Optional batched variant: when set, a burst of definitive deliveries
+  /// (e.g. one decided consensus stage draining at once) arrives as a single
+  /// call carrying the deliveries in definitive order, and `to_deliver` is
+  /// not invoked for them. Entries are exactly what per-message delivery
+  /// would have produced; receivers must process them in order.
+  std::function<void(std::span<const ToDelivery>)> to_deliver_batch;
 };
+
+/// Dispatches a drained burst through the batched callback when the receiver
+/// registered one, else per message. Shared by all broadcast implementations
+/// so the delivery contract lives in one place.
+inline void dispatch_to_deliver(const AbcastCallbacks& callbacks,
+                                std::span<const ToDelivery> burst) {
+  if (burst.empty()) return;
+  if (callbacks.to_deliver_batch) {
+    callbacks.to_deliver_batch(burst);
+  } else if (callbacks.to_deliver) {
+    for (const auto& [id, index] : burst) callbacks.to_deliver(id, index);
+  }
+}
 
 /// Counters exposed by broadcast implementations (for benches and tests).
 struct AbcastStats {

@@ -71,7 +71,7 @@ void ConsensusHost::propose(std::uint64_t inst, Value value) {
 }
 
 void ConsensusHost::on_message(const Message& msg) {
-  const auto* p = payload_cast<ConsensusPayload>(msg);
+  const auto* p = payload_cast_fast<ConsensusPayload>(msg);
   OTPDB_CHECK(p != nullptr);
   Instance& in = instance(p->inst);
 
@@ -85,16 +85,19 @@ void ConsensusHost::on_message(const Message& msg) {
   }
 
   switch (p->kind) {
-    case Kind::propose:
-      in.proposals[msg.from] = p->value;
+    case Kind::propose: {
+      bool known = false;
+      for (const auto& [site, payload] : in.proposals) known |= site == msg.from;
+      if (!known) in.proposals.emplace_back(msg.from, msg.payload);
       // A proposal also serves as a round-0 estimate with timestamp 0.
       maybe_fast_decide(p->inst);
-      if (!instances_[p->inst].decided && coordinator(p->inst, 0) == self_ &&
+      if (!in.decided && coordinator(p->inst, 0) == self_ &&
           in.proposals.size() == net_.site_count()) {
         // Everyone proposed but the fast path failed: no point waiting longer.
         maybe_coord_round0(p->inst);
       }
       break;
+    }
     case Kind::estimate:
       handle_estimate(p->inst, p->round, msg.from, p->ts, p->value);
       break;
@@ -113,9 +116,12 @@ void ConsensusHost::on_message(const Message& msg) {
 void ConsensusHost::maybe_fast_decide(std::uint64_t inst) {
   Instance& in = instance(inst);
   if (in.decided || in.proposals.size() != net_.site_count()) return;
-  const Value& first = in.proposals.begin()->second;
-  for (const auto& [site, v] : in.proposals) {
-    if (v != first) return;
+  const auto value_of = [](const PayloadPtr& p) -> const Value& {
+    return static_cast<const ConsensusPayload*>(p.get())->value;
+  };
+  const Value& first = value_of(in.proposals.front().second);
+  for (const auto& [site, payload] : in.proposals) {
+    if (value_of(payload) != first) return;
   }
   // All n proposals identical: decide without any further coordination. No
   // announcement is needed - every correct site receives the same n proposals

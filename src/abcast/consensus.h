@@ -34,6 +34,7 @@
 #include <functional>
 #include <map>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "abcast/failure_detector.h"
@@ -90,7 +91,9 @@ class ConsensusHost {
     Value est;
     std::uint64_t ts = 0;  // round in which est was adopted (+1); 0 = initial
     std::uint64_t round = 0;
-    std::map<SiteId, Value> proposals;                           // round-0 estimates
+    /// Round-0 estimates: the received Propose payloads, by sender. Kept as
+    /// payload pointers (no Value copy) - the fast path only compares them.
+    std::vector<std::pair<SiteId, PayloadPtr>> proposals;
     std::map<std::uint64_t, std::map<SiteId, std::pair<std::uint64_t, Value>>> estimates;
     std::map<std::uint64_t, std::set<SiteId>> acks;
     std::map<std::uint64_t, Value> coord_value;  // what this site proposed as coordinator
@@ -123,7 +126,7 @@ class ConsensusHost {
   FailureDetector& fd_;
   SiteId self_;
   ConsensusConfig config_;
-  std::map<std::uint64_t, Instance> instances_;
+  std::unordered_map<std::uint64_t, Instance> instances_;  // node-based: refs stable
   DecideFn on_decide_;
   ConsensusStats stats_;
 };

@@ -29,19 +29,20 @@ MsgId OptAbcast::broadcast(PayloadPtr payload) {
 void OptAbcast::set_callbacks(AbcastCallbacks callbacks) { callbacks_ = std::move(callbacks); }
 
 void OptAbcast::on_data(const Message& msg) {
-  if (arrived_.contains(msg.id)) return;  // late retransmit of a fetched body
-  arrived_.insert(msg.id);
-  body_cache_[msg.id] = msg.payload;
-  opt_time_[msg.id] = sim_.now();
+  MsgState& st = msgs_[msg.id];  // single hash probe for the whole event
+  if (st.arrived) return;        // late retransmit of a fetched body
+  st.arrived = true;
+  st.body = msg.payload;
+  st.opt_time = sim_.now();
   ++stats_.opt_delivered;
   if (callbacks_.opt_deliver) callbacks_.opt_deliver(msg);
 
-  if (ordered_.contains(msg.id)) {
+  if (st.ordered) {
     // Already definitively ordered by a decided stage; its TO-delivery may
     // have been waiting for this arrival (Local Order).
     drain_decided();
   } else {
-    pending_.push_back(msg.id);
+    pending_.emplace_back(msg.id, &st);
     consider_stage();
   }
 }
@@ -70,10 +71,10 @@ void OptAbcast::start_stage() {
   // undecided stage; fresher arrivals wait so all sites propose the same set.
   const SimTime cutoff = sim_.now() - config_.alignment_window;
   std::vector<MsgId> proposal;
-  for (const MsgId& id : pending_) {
+  for (const auto& [id, st] : pending_) {
     if (proposal.size() >= config_.max_batch) break;
-    if (opt_time_.at(id) > cutoff) break;  // arrival order: the rest is fresher
-    if (in_proposal_.contains(id)) continue;
+    if (st->opt_time > cutoff) break;  // arrival order: the rest is fresher
+    if (st->in_proposal) continue;
     proposal.push_back(id);
   }
   if (proposal.empty()) {
@@ -91,7 +92,7 @@ void OptAbcast::start_stage() {
     return;
   }
   const std::uint64_t inst = next_propose_++;
-  for (const MsgId& id : proposal) in_proposal_.insert(id);
+  for (const MsgId& id : proposal) msgs_[id].in_proposal = true;
   my_proposals_[inst] = proposal;
   OTPDB_TRACE("optabcast") << "site " << self_ << " proposes stage " << inst << " with "
                            << proposal.size() << " msgs";
@@ -124,17 +125,19 @@ void OptAbcast::apply_decision(std::uint64_t inst, const std::vector<MsgId>& seq
     // elsewhere, already contained it). Deliver on first occurrence only;
     // this is deterministic because every site applies decisions in stage
     // order.
-    if (ordered_.contains(id)) continue;
-    ordered_.insert(id);
-    in_proposal_.erase(id);
-    decided_queue_.push_back(id);
+    MsgState& st = msgs_[id];  // may create: decision can precede the body
+    if (st.ordered) continue;
+    st.ordered = true;
+    st.in_proposal = false;
+    decided_queue_.emplace_back(id, &st);
   }
   // Messages this site proposed for the stage but the decision left out roll
   // back to proposable state (they will enter a later stage).
   auto mine = my_proposals_.find(inst);
   if (mine != my_proposals_.end()) {
     for (const MsgId& id : mine->second) {
-      if (!ordered_.contains(id)) in_proposal_.erase(id);
+      MsgState& st = msgs_[id];
+      if (!st.ordered) st.in_proposal = false;
     }
     my_proposals_.erase(mine);
   }
@@ -142,18 +145,26 @@ void OptAbcast::apply_decision(std::uint64_t inst, const std::vector<MsgId>& seq
   next_propose_ = std::max(next_propose_, inst + 1);
   // Drop ordered messages from the local pending list (they may sit at any
   // position if the tentative order disagreed with the decision).
-  std::erase_if(pending_, [&](const MsgId& id) { return ordered_.contains(id); });
+  std::erase_if(pending_, [](const MsgRef& p) { return p.second->ordered; });
 }
 
 void OptAbcast::drain_decided() {
-  while (!decided_queue_.empty() && arrived_.contains(decided_queue_.front())) {
-    const MsgId id = decided_queue_.front();
+  // Collect the deliverable prefix first, then dispatch the whole burst in
+  // one batched callback when the receiver supports it: a decided stage
+  // drains as one pass over the replica's class queues instead of one
+  // std::function hop per message. Nothing can extend the deliverable prefix
+  // synchronously during dispatch (decisions and arrivals ride on network
+  // events), so collect-then-dispatch preserves per-message semantics.
+  drain_scratch_.clear();
+  while (!decided_queue_.empty() && decided_queue_.front().second->arrived) {
+    const auto [id, st] = decided_queue_.front();
     decided_queue_.pop_front();
     const TOIndex index = next_index_++;
     ++stats_.to_delivered;
-    stats_.opt_to_gap_total_ns += sim_.now() - opt_time_[id];
-    if (callbacks_.to_deliver) callbacks_.to_deliver(id, index);
+    stats_.opt_to_gap_total_ns += sim_.now() - st->opt_time;
+    drain_scratch_.emplace_back(id, index);
   }
+  dispatch_to_deliver(callbacks_, drain_scratch_);
   if (!decided_queue_.empty()) {
     // The definitive order references messages whose bodies never reached us
     // (we were down when they were multicast, or they are still in flight).
@@ -191,18 +202,14 @@ constexpr std::size_t kBodyBatch = 64;
 
 void OptAbcast::crash_reset() {
   pending_.clear();
-  arrived_.clear();
-  ordered_.clear();
-  in_proposal_.clear();
-  opt_time_.clear();
   decided_queue_.clear();
+  msgs_.clear();  // after the queues: they hold pointers into it
   decided_buffer_.clear();
   my_proposals_.clear();
   next_apply_ = 0;
   next_propose_ = 0;
   next_index_ = 1;
   stage_timer_armed_ = false;  // any armed timer re-checks state when it fires
-  body_cache_.clear();
   decision_log_.clear();
   if (body_request_outstanding_) sim_.cancel(body_retry_timer_);
   body_request_outstanding_ = false;
@@ -232,9 +239,9 @@ void OptAbcast::request_missing_bodies() {
   body_request_outstanding_ = true;
   auto request = std::make_shared<RecoveryPayload>();
   request->kind = RecoveryKind::body_request;
-  for (const MsgId& id : decided_queue_) {
+  for (const auto& [id, st] : decided_queue_) {
     if (request->subjects.size() >= kBodyBatch) break;
-    if (!arrived_.contains(id)) request->subjects.push_back(id);
+    if (!st->arrived) request->subjects.push_back(id);
   }
   OTPDB_DEBUG("optabcast") << "site " << self_ << " requests " << request->subjects.size()
                            << " missing bodies";
@@ -253,10 +260,11 @@ void OptAbcast::request_missing_bodies() {
 }
 
 void OptAbcast::deliver_fetched_body(const MsgId& id, PayloadPtr payload) {
-  if (arrived_.contains(id)) return;
-  arrived_.insert(id);
-  body_cache_[id] = payload;
-  opt_time_[id] = sim_.now();
+  MsgState& st = msgs_[id];
+  if (st.arrived) return;
+  st.arrived = true;
+  st.body = payload;
+  st.opt_time = sim_.now();
   ++stats_.opt_delivered;
   if (callbacks_.opt_deliver) {
     callbacks_.opt_deliver(Message{id, id.sender, kChannelData, std::move(payload)});
@@ -305,8 +313,10 @@ void OptAbcast::on_recovery_message(const Message& msg) {
       auto response = std::make_shared<RecoveryPayload>();
       response->kind = RecoveryKind::body_response;
       for (const MsgId& id : p->subjects) {
-        auto it = body_cache_.find(id);
-        if (it != body_cache_.end()) response->bodies.emplace_back(id, it->second);
+        auto it = msgs_.find(id);
+        if (it != msgs_.end() && it->second.body) {
+          response->bodies.emplace_back(id, it->second.body);
+        }
       }
       OTPDB_DEBUG("optabcast") << "site " << self_ << " serves " << response->bodies.size()
                                << "/" << p->subjects.size() << " bodies to " << msg.from;

@@ -107,6 +107,19 @@ class OptAbcast final : public AtomicBroadcast {
   void send_catch_up_request();
   void deliver_fetched_body(const MsgId& id, PayloadPtr payload);
 
+  /// Everything this site knows about one message, consolidated so each
+  /// protocol event costs a single MsgId hash probe instead of one per
+  /// bookkeeping structure. Entries are never erased outside crash_reset, so
+  /// pointers into the map stay valid and the hot queues carry them directly.
+  struct MsgState {
+    SimTime opt_time = 0;  // arrival time: alignment cutoff + gap statistic
+    PayloadPtr body;       // cached to serve recovering peers
+    bool arrived = false;  // Opt-delivered here
+    bool ordered = false;  // definitively ordered by a decided stage
+    bool in_proposal = false;  // sitting in an undecided stage's proposal
+  };
+  using MsgRef = std::pair<MsgId, MsgState*>;
+
   Simulator& sim_;
   Network& net_;
   SiteId self_;
@@ -114,12 +127,9 @@ class OptAbcast final : public AtomicBroadcast {
   ConsensusHost consensus_;
   AbcastCallbacks callbacks_;
 
-  std::deque<MsgId> pending_;                    // arrived, not yet definitively ordered
-  std::unordered_set<MsgId> arrived_;            // everything Opt-delivered so far
-  std::unordered_set<MsgId> ordered_;            // everything decided so far
-  std::unordered_set<MsgId> in_proposal_;        // proposed in an undecided stage
-  std::unordered_map<MsgId, SimTime> opt_time_;  // for alignment + gap statistic
-  std::deque<MsgId> decided_queue_;              // decided, awaiting TO-delivery
+  std::unordered_map<MsgId, MsgState> msgs_;
+  std::deque<MsgRef> pending_;        // arrived, not yet definitively ordered
+  std::deque<MsgRef> decided_queue_;  // decided, awaiting TO-delivery
   std::map<std::uint64_t, std::vector<MsgId>> decided_buffer_;  // out-of-order decisions
   std::map<std::uint64_t, std::vector<MsgId>> my_proposals_;    // per in-flight stage
   std::uint64_t next_apply_ = 0;    // lowest undecided stage at this site
@@ -127,9 +137,9 @@ class OptAbcast final : public AtomicBroadcast {
   bool stage_timer_armed_ = false;
   TOIndex next_index_ = 1;
   AbcastStats stats_;
+  std::vector<ToDelivery> drain_scratch_;  // reused burst buffer (drain_decided)
 
-  // Recovery support.
-  std::unordered_map<MsgId, PayloadPtr> body_cache_;             // served to recovering peers
+  // Recovery support (message bodies are cached in msgs_[].body).
   std::map<std::uint64_t, std::vector<MsgId>> decision_log_;     // stage -> decided sequence
   bool recovering_ = false;
   bool body_request_outstanding_ = false;

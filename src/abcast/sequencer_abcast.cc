@@ -47,7 +47,7 @@ void SequencerAbcast::on_data(const Message& msg) {
 }
 
 void SequencerAbcast::on_order(const Message& msg) {
-  const auto* order = payload_cast<OrderPayload>(msg);
+  const auto* order = payload_cast_fast<OrderPayload>(msg);
   OTPDB_CHECK(order != nullptr);
   OTPDB_ASSERT(!order_book_.contains(order->index));
   order_book_[order->index] = order->subject;
@@ -55,6 +55,9 @@ void SequencerAbcast::on_order(const Message& msg) {
 }
 
 void SequencerAbcast::drain() {
+  // Same collect-then-dispatch pattern as OptAbcast::drain_decided: the
+  // deliverable prefix cannot grow synchronously during dispatch.
+  drain_scratch_.clear();
   while (true) {
     auto it = order_book_.find(next_expected_);
     if (it == order_book_.end()) break;
@@ -65,8 +68,9 @@ void SequencerAbcast::drain() {
     ++next_expected_;
     ++stats_.to_delivered;
     stats_.opt_to_gap_total_ns += sim_.now() - opt_time_[id];
-    if (callbacks_.to_deliver) callbacks_.to_deliver(id, index);
+    drain_scratch_.emplace_back(id, index);
   }
+  dispatch_to_deliver(callbacks_, drain_scratch_);
 }
 
 }  // namespace otpdb

@@ -22,6 +22,7 @@
 #include <map>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "abcast/abcast.h"
 #include "net/network.h"
@@ -61,6 +62,7 @@ class SequencerAbcast final : public AtomicBroadcast {
   TOIndex next_assign_ = 1;              // sequencer role: next index to hand out
   TOIndex next_expected_ = 1;            // delivery role: next index to TO-deliver
   AbcastStats stats_;
+  std::vector<ToDelivery> drain_scratch_;  // reused burst buffer (drain)
 };
 
 }  // namespace otpdb

@@ -20,6 +20,7 @@ ConservativeReplica::ConservativeReplica(Simulator& sim, AtomicBroadcast& abcast
   abcast_.set_callbacks(AbcastCallbacks{
       [this](const Message& msg) { on_opt_deliver(msg); },
       [this](const MsgId& id, TOIndex index) { on_to_deliver(id, index); },
+      [this](std::span<const ToDelivery> batch) { on_to_deliver_batch(batch); },
   });
 }
 
@@ -45,25 +46,29 @@ void ConservativeReplica::submit_query(QueryFn fn, SimTime exec_duration, QueryD
 void ConservativeReplica::on_opt_deliver(const Message& msg) {
   // The conservative engine ignores the tentative order: it only keeps the
   // body so the TO-delivery confirmation can be matched to it.
-  auto request = std::dynamic_pointer_cast<const TxnRequest>(msg.payload);
-  OTPDB_CHECK_MSG(request != nullptr, "data channel carried a non-transaction payload");
-  auto record = std::make_unique<TxnRecord>();
-  record->id = msg.id;
-  record->request = std::move(request);
-  record->opt_delivered_at = sim_.now();
-  const auto [it, inserted] = txns_.emplace(msg.id, std::move(record));
-  OTPDB_CHECK_MSG(inserted, "duplicate Opt-delivery");
+  OTPDB_ASSERT(std::dynamic_pointer_cast<const TxnRequest>(msg.payload) != nullptr);
+  auto request = std::static_pointer_cast<const TxnRequest>(msg.payload);
+  // acquire() checks against duplicate Opt-delivery.
+  TxnRecord* txn = txns_.acquire(msg.id, std::move(request));
+  txn->opt_delivered_at = sim_.now();
   ++buffered_;
 }
 
 void ConservativeReplica::on_to_deliver(const MsgId& id, TOIndex index) {
-  auto it = txns_.find(id);
-  OTPDB_CHECK_MSG(it != txns_.end(), "TO-delivery without prior Opt-delivery");
-  TxnRecord* txn = it->second.get();
+  TxnRecord* txn = txns_.lookup(id);
   txn->to_index = index;
+  to_deliver_one(txn);
+}
+
+void ConservativeReplica::on_to_deliver_batch(std::span<const ToDelivery> batch) {
+  // Per-entry handling identical to repeated on_to_deliver calls.
+  for (const auto& [id, index] : batch) on_to_deliver(id, index);
+}
+
+void ConservativeReplica::to_deliver_one(TxnRecord* txn) {
   txn->to_delivered_at = sim_.now();
   txn->deliv = DeliveryState::committable;
-  queries_.note_to_delivered(txn->request->klass, index);
+  queries_.note_to_delivered(txn->request->klass, txn->to_index);
   metrics_.opt_to_gap_ns.add(static_cast<double>(txn->to_delivered_at - txn->opt_delivered_at));
   --buffered_;
   ++queued_;
@@ -77,10 +82,12 @@ void ConservativeReplica::submit_execution(TxnRecord* txn) {
   OTPDB_CHECK(!txn->running);
   txn->running = true;
   ++txn->attempts;
-  TxnContext ctx(store_, catalog_, txn->id, txn->request->klass, txn->request->args);
+  const bool record_sets = commit_hook_ != nullptr;  // checker wants read/write sets
+  TxnContext ctx(store_, catalog_, txn->tid, txn->request->klass, txn->request->args,
+                 record_sets);
   registry_.get(txn->request->proc)(ctx);
-  txn->last_reads = ctx.reads();
-  txn->last_writes = ctx.writes();
+  txn->last_reads = ctx.take_reads();
+  txn->last_writes = ctx.take_writes();
   txn->completion =
       sim_.schedule_after(txn->request->exec_duration, [this, txn] { on_complete(txn); });
 }
@@ -96,16 +103,19 @@ void ConservativeReplica::on_complete(TxnRecord* txn) {
   OTPDB_CHECK(queue.head() == txn);
 
   CommitRecord record;
-  record.site = self_;
-  record.txn = txn->id;
-  record.proc = txn->request->proc;
-  record.klass = klass;
-  record.index = txn->to_index;
-  record.at = txn->committed_at;
-  record.writes = store_.provisional_writes(txn->id);
-  record.reads = txn->last_reads;
+  if (commit_hook_) {
+    record.site = self_;
+    record.txn = txn->id;
+    record.proc = txn->request->proc;
+    record.klass = klass;
+    record.index = txn->to_index;
+    record.at = txn->committed_at;
+    const auto writes = store_.provisional_writes(txn->tid);
+    record.writes.assign(writes.begin(), writes.end());
+    record.reads = txn->last_reads;
+  }
 
-  store_.commit(txn->id, txn->to_index);
+  store_.commit(txn->tid, txn->to_index);
   queue.remove_head(txn);
   --queued_;
 
@@ -119,7 +129,7 @@ void ConservativeReplica::on_complete(TxnRecord* txn) {
   if (commit_hook_) commit_hook_(record);
 
   const TOIndex committed_index = txn->to_index;
-  txns_.erase(txn->id);
+  txns_.retire(txn);  // the record slot is recycled by the next acquire
 
   if (TxnRecord* next = queue.head()) submit_execution(next);
   queries_.note_committed(klass, committed_index);

@@ -11,7 +11,7 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "abcast/abcast.h"
@@ -19,6 +19,7 @@
 #include "core/query_engine.h"
 #include "core/replica_base.h"
 #include "core/txn.h"
+#include "core/txn_table.h"
 #include "db/partition.h"
 #include "db/procedures.h"
 #include "db/versioned_store.h"
@@ -46,6 +47,8 @@ class ConservativeReplica final : public ReplicaBase {
  private:
   void on_opt_deliver(const Message& msg);
   void on_to_deliver(const MsgId& id, TOIndex index);
+  void on_to_deliver_batch(std::span<const ToDelivery> batch);
+  void to_deliver_one(TxnRecord* txn);
   void submit_execution(TxnRecord* txn);
   void on_complete(TxnRecord* txn);
 
@@ -57,7 +60,7 @@ class ConservativeReplica final : public ReplicaBase {
   SiteId self_;
 
   std::vector<ClassQueue> queues_;
-  std::unordered_map<MsgId, std::unique_ptr<TxnRecord>> txns_;
+  TxnTable txns_;
   std::size_t buffered_ = 0;  ///< Opt-delivered, not yet TO-delivered
   std::size_t queued_ = 0;    ///< TO-delivered, not yet committed
 

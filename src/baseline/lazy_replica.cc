@@ -40,6 +40,7 @@ void LazyReplica::submit_update(ProcId proc, ClassId klass, TxnArgs args, SimTim
   OTPDB_CHECK(klass < catalog_.class_count());
   LocalTxn txn;
   txn.id = MsgId{self_, next_txn_seq_++};
+  txn.tid = interner_.intern(txn.id);
   txn.proc = proc;
   txn.klass = klass;
   txn.args = std::move(args);
@@ -54,7 +55,7 @@ void LazyReplica::submit_update(ProcId proc, ClassId klass, TxnArgs args, SimTim
 
 void LazyReplica::run_head(ClassId klass) {
   LocalTxn& txn = queues_[klass].front();
-  TxnContext ctx(store_, catalog_, txn.id, klass, txn.args);
+  TxnContext ctx(store_, catalog_, txn.tid, klass, txn.args);
   registry_.get(txn.proc)(ctx);
   sim_.schedule_after(txn.exec_duration, [this, klass] { on_complete(klass); });
 }
@@ -69,7 +70,7 @@ void LazyReplica::on_complete(ClassId klass) {
   // Local commit: no coordination with other sites whatsoever.
   const std::uint64_t ts = ++lamport_;
   const TOIndex index = next_local_index_++;
-  auto writes = store_.provisional_writes(txn.id);
+  const auto writes = store_.provisional_writes(txn.tid);
 
   auto apply = std::make_shared<LazyApply>();
   apply->origin = self_;
@@ -81,7 +82,10 @@ void LazyReplica::on_complete(ClassId klass) {
     apply->writes.push_back(LazyApply::WriteEntry{obj, value, prev.ts, prev.site});
     tokens_[obj] = WriterToken{ts, self_};
   }
-  store_.commit(txn.id, index);
+  std::vector<std::pair<ObjectId, Value>> record_writes;
+  if (commit_hook_) record_writes.assign(writes.begin(), writes.end());
+  store_.commit(txn.tid, index);
+  interner_.release(txn.tid);
 
   ++metrics_.committed;
   const double latency = static_cast<double>(sim_.now() - txn.submitted_at);
@@ -96,7 +100,7 @@ void LazyReplica::on_complete(ClassId klass) {
     record.klass = klass;
     record.index = index;
     record.at = sim_.now();
-    record.writes = writes;
+    record.writes = std::move(record_writes);
     commit_hook_(record);
   }
 
@@ -109,12 +113,13 @@ void LazyReplica::on_complete(ClassId klass) {
 
 void LazyReplica::on_apply(const Message& msg) {
   if (msg.from == self_) return;  // own loopback
-  const auto* apply = payload_cast<LazyApply>(msg);
+  const auto* apply = payload_cast_fast<LazyApply>(msg);
   OTPDB_CHECK(apply != nullptr);
   lamport_ = std::max(lamport_, apply->ts);
   ++applied_remote_;
 
   const MsgId synthetic{apply->origin, apply->ts};
+  const TxnId stid = interner_.intern(synthetic);  // scratch id for the install
   bool installed_any = false;
   for (const auto& entry : apply->writes) {
     WriterToken& current = tokens_[entry.obj];
@@ -127,14 +132,14 @@ void LazyReplica::on_apply(const Message& msg) {
       ++conflicts_detected_;
     }
     if (incoming > current) {  // last-writer-wins reconciliation
-      store_.write(synthetic, entry.obj, entry.value);
+      store_.write(stid, entry.obj, entry.value);
       current = incoming;
       installed_any = true;
     }
   }
   if (installed_any) {
     const TOIndex index = next_local_index_++;
-    store_.commit(synthetic, index);
+    store_.commit(stid, index);
     if (commit_hook_) {
       CommitRecord record;
       record.site = self_;
@@ -147,6 +152,7 @@ void LazyReplica::on_apply(const Message& msg) {
       commit_hook_(record);
     }
   }
+  interner_.release(stid);
 }
 
 void LazyReplica::submit_query(QueryFn fn, SimTime exec_duration, QueryDoneFn done) {

@@ -22,6 +22,7 @@
 #include "core/txn.h"
 #include "db/partition.h"
 #include "db/procedures.h"
+#include "db/txn_interner.h"
 #include "db/versioned_store.h"
 #include "net/network.h"
 #include "sim/simulator.h"
@@ -51,6 +52,7 @@ class LazyReplica final : public ReplicaBase {
  private:
   struct LocalTxn {
     MsgId id;
+    TxnId tid = kInvalidTxnId;  ///< dense id for the store's provisional table
     ProcId proc = 0;
     ClassId klass = 0;
     TxnArgs args;
@@ -78,6 +80,7 @@ class LazyReplica final : public ReplicaBase {
   SiteId self_;
 
   std::vector<std::deque<LocalTxn>> queues_;  // local FIFO per class
+  TxnIdInterner interner_;
   std::size_t queued_ = 0;
   std::uint64_t next_txn_seq_ = 0;
   std::uint64_t lamport_ = 0;

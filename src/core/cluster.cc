@@ -36,7 +36,8 @@ void Cluster::build(ReplicaFactory factory) {
             std::make_unique<SequencerAbcast>(sim_, *net_, s, config_.sequencer));
         break;
     }
-    stores_.push_back(std::make_unique<VersionedStore>());
+    // Dense object index covering the catalog's whole contiguous id space.
+    stores_.push_back(std::make_unique<VersionedStore>(catalog_.object_count()));
   }
   for (SiteId s = 0; s < config_.n_sites; ++s) {
     replicas_.push_back(factory(

@@ -33,12 +33,14 @@ LockTableReplica::LockTableReplica(Simulator& sim, AtomicBroadcast& abcast,
       registry_(registry),
       self_(self),
       extractor_(std::move(extractor)),
+      queues_(catalog.object_count()),
       queries_(sim, store, catalog.object_count(),
                [](ObjectId obj) { return QueryEngine::Domain{obj}; }, metrics_) {
   OTPDB_CHECK(extractor_ != nullptr);
   abcast_.set_callbacks(AbcastCallbacks{
       [this](const Message& msg) { on_opt_deliver(msg); },
       [this](const MsgId& id, TOIndex index) { on_to_deliver(id, index); },
+      [this](std::span<const ToDelivery> batch) { on_to_deliver_batch(batch); },
   });
 }
 
@@ -70,8 +72,7 @@ void LockTableReplica::submit_query(QueryFn fn, SimTime exec_duration, QueryDone
 }
 
 std::size_t LockTableReplica::queue_length(ObjectId obj) const {
-  auto it = queues_.find(obj);
-  return it == queues_.end() ? 0 : it->second.size();
+  return obj < queues_.size() ? queues_[obj].size() : 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -79,25 +80,27 @@ std::size_t LockTableReplica::queue_length(ObjectId obj) const {
 // ---------------------------------------------------------------------------
 
 void LockTableReplica::on_opt_deliver(const Message& msg) {
-  auto request = std::dynamic_pointer_cast<const TxnRequest>(msg.payload);
-  OTPDB_CHECK_MSG(request != nullptr, "data channel carried a non-transaction payload");
+  OTPDB_ASSERT(std::dynamic_pointer_cast<const TxnRequest>(msg.payload) != nullptr);
+  auto request = std::static_pointer_cast<const TxnRequest>(msg.payload);
   OTPDB_CHECK_MSG(!request->access_set.empty(),
                   "lock-table engine requires pre-declared access sets");
-  auto record = std::make_unique<TxnRecord>();
-  TxnRecord* txn = record.get();
-  txn->id = msg.id;
-  txn->request = std::move(request);
+  // acquire() checks against duplicate Opt-delivery.
+  TxnRecord* txn = txns_.acquire(msg.id, std::move(request));
   txn->opt_delivered_at = sim_.now();
-  const auto [it, inserted] = txns_.emplace(msg.id, std::move(record));
-  OTPDB_CHECK_MSG(inserted, "duplicate Opt-delivery");
 
-  for (ObjectId obj : txn->request->access_set) queues_[obj].push_back(txn);
+  for (ObjectId obj : txn->request->access_set) {
+    // The lock table is a dense vector over the catalog's object space; a
+    // user-supplied extractor declaring an out-of-catalog id must fail loudly
+    // here, not corrupt memory.
+    OTPDB_CHECK_MSG(obj < queues_.size(), "declared object outside the catalog");
+    queues_[obj].push_back(txn);
+  }
   try_execute(txn);
 }
 
 bool LockTableReplica::heads_all_queues(const TxnRecord* txn) const {
   for (ObjectId obj : txn->request->access_set) {
-    const auto& queue = queues_.at(obj);
+    const auto& queue = queues_[obj];
     OTPDB_ASSERT(!queue.empty());
     if (queue.front() != txn) return false;
   }
@@ -110,11 +113,12 @@ void LockTableReplica::try_execute(TxnRecord* txn) {
   txn->running = true;
   ++txn->attempts;
   if (txn->attempts > 1) ++metrics_.reexecutions;
-  TxnContext ctx(store_, txn->request->access_set, txn->id, txn->request->klass,
-                 txn->request->args);
+  const bool record_sets = commit_hook_ != nullptr;  // checker wants read/write sets
+  TxnContext ctx(store_, txn->request->access_set, txn->tid, txn->request->klass,
+                 txn->request->args, record_sets);
   registry_.get(txn->request->proc)(ctx);
-  txn->last_reads = ctx.reads();
-  txn->last_writes = ctx.writes();
+  txn->last_reads = ctx.take_reads();
+  txn->last_writes = ctx.take_writes();
   txn->completion =
       sim_.schedule_after(txn->request->exec_duration, [this, txn] { execution_complete(txn); });
 }
@@ -145,10 +149,18 @@ void LockTableReplica::reorder_before_first_pending(ObjectQueue& queue, TxnRecor
 }
 
 void LockTableReplica::on_to_deliver(const MsgId& id, TOIndex index) {
-  auto it = txns_.find(id);
-  OTPDB_CHECK_MSG(it != txns_.end(), "TO-delivery without prior Opt-delivery");
-  TxnRecord* txn = it->second.get();
+  TxnRecord* txn = txns_.lookup(id);
   txn->to_index = index;
+  to_deliver_one(txn);
+}
+
+void LockTableReplica::on_to_deliver_batch(std::span<const ToDelivery> batch) {
+  // Per-entry handling identical to repeated on_to_deliver calls.
+  for (const auto& [id, index] : batch) on_to_deliver(id, index);
+}
+
+void LockTableReplica::to_deliver_one(TxnRecord* txn) {
+  const TOIndex index = txn->to_index;
   txn->to_delivered_at = sim_.now();
   queries_.advance_to_index(index);
   for (ObjectId obj : txn->request->access_set) {
@@ -169,7 +181,7 @@ void LockTableReplica::on_to_deliver(const MsgId& id, TOIndex index) {
   // cascades. It re-executes after the committable prefix commits.
   bool moved = false;
   for (ObjectId obj : txn->request->access_set) {
-    ObjectQueue& queue = queues_.at(obj);
+    ObjectQueue& queue = queues_[obj];
     for (TxnRecord* other : queue) {
       if (other == txn) break;
       if (other->deliv == DeliveryState::pending &&
@@ -192,7 +204,7 @@ void LockTableReplica::abort_transaction(TxnRecord* txn) {
     sim_.cancel(txn->completion);
     txn->running = false;
   }
-  store_.abort(txn->id);
+  store_.abort(txn->tid);
   txn->exec = ExecState::active;
   ++metrics_.aborts;
 }
@@ -209,23 +221,25 @@ void LockTableReplica::commit(TxnRecord* txn) {
 
   txn->committed_at = sim_.now();
   CommitRecord record;
-  record.site = self_;
-  record.txn = txn->id;
-  record.proc = txn->request->proc;
-  record.klass = txn->request->klass;
-  record.index = txn->to_index;
-  record.at = txn->committed_at;
-  record.writes = store_.provisional_writes(txn->id);
-  record.reads = txn->last_reads;
+  if (commit_hook_) {
+    record.site = self_;
+    record.txn = txn->id;
+    record.proc = txn->request->proc;
+    record.klass = txn->request->klass;
+    record.index = txn->to_index;
+    record.at = txn->committed_at;
+    const auto writes = store_.provisional_writes(txn->tid);
+    record.writes.assign(writes.begin(), writes.end());
+    record.reads = txn->last_reads;
+  }
 
-  store_.commit(txn->id, txn->to_index);
+  store_.commit(txn->tid, txn->to_index);
   const std::vector<ObjectId> objects = txn->request->access_set;
   for (ObjectId obj : objects) {
-    ObjectQueue& queue = queues_.at(obj);
+    ObjectQueue& queue = queues_[obj];
     OTPDB_CHECK(queue.front() == txn);
     queue.erase(queue.begin());
     queries_.note_committed(QueryEngine::Domain{obj}, txn->to_index);
-    if (queue.empty()) queues_.erase(obj);
   }
 
   ++metrics_.committed;
@@ -236,7 +250,7 @@ void LockTableReplica::commit(TxnRecord* txn) {
   }
   metrics_.commit_wait_ns.add(static_cast<double>(txn->committed_at - txn->executed_at));
   if (commit_hook_) commit_hook_(record);
-  txns_.erase(txn->id);  // txn dangles beyond this point
+  txns_.retire(txn);  // the record slot is recycled by the next acquire
 
   try_execute_heads_of(objects);
 }
@@ -245,9 +259,9 @@ void LockTableReplica::try_execute_heads_of(const std::vector<ObjectId>& objects
   // Removing (or reordering around) a transaction may have promoted the
   // heads of these queues to hold-all-locks status.
   for (ObjectId obj : objects) {
-    auto it = queues_.find(obj);
-    if (it == queues_.end() || it->second.empty()) continue;
-    TxnRecord* head = it->second.front();
+    ObjectQueue& queue = queues_[obj];
+    if (queue.empty()) continue;
+    TxnRecord* head = queue.front();
     try_execute(head);
     // An executed+committable head that was waiting for this commit to reach
     // the front of every queue can now commit.

@@ -29,7 +29,7 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "abcast/abcast.h"
@@ -38,6 +38,7 @@
 #include "core/query_engine.h"
 #include "core/replica_base.h"
 #include "core/txn.h"
+#include "core/txn_table.h"
 #include "db/partition.h"
 #include "db/procedures.h"
 #include "db/versioned_store.h"
@@ -64,7 +65,7 @@ class LockTableReplica final : public ReplicaBase {
   void submit_query(QueryFn fn, SimTime exec_duration, QueryDoneFn done) override;
   void set_commit_hook(CommitHook hook) override { commit_hook_ = std::move(hook); }
   std::size_t in_flight() const override {
-    return txns_.size() + (metrics_.queries_started - metrics_.queries_done);
+    return txns_.live() + (metrics_.queries_started - metrics_.queries_done);
   }
   const ReplicaMetrics& metrics() const override { return metrics_; }
   SiteId site() const override { return self_; }
@@ -81,6 +82,7 @@ class LockTableReplica final : public ReplicaBase {
   // through the abcast callbacks).
   void on_opt_deliver(const Message& msg);
   void on_to_deliver(const MsgId& id, TOIndex index);
+  void on_to_deliver_batch(std::span<const ToDelivery> batch);
 
  private:
   /// One object's FIFO wait list. TxnRecord pointers, same invariants as the
@@ -88,6 +90,7 @@ class LockTableReplica final : public ReplicaBase {
   /// tentative order.
   using ObjectQueue = std::vector<TxnRecord*>;
 
+  void to_deliver_one(TxnRecord* txn);
   bool heads_all_queues(const TxnRecord* txn) const;
   void try_execute(TxnRecord* txn);
   void execution_complete(TxnRecord* txn);
@@ -104,8 +107,10 @@ class LockTableReplica final : public ReplicaBase {
   SiteId self_;
   AccessSetExtractor extractor_;
 
-  std::unordered_map<ObjectId, ObjectQueue> queues_;
-  std::unordered_map<MsgId, std::unique_ptr<TxnRecord>> txns_;
+  // The catalog's object space is contiguous, so the lock table is a plain
+  // vector indexed by ObjectId - no hashing per lock acquire/release.
+  std::vector<ObjectQueue> queues_;
+  TxnTable txns_;
 
   std::uint64_t next_client_seq_ = 0;
   ReplicaMetrics metrics_;

@@ -22,6 +22,7 @@ OtpReplica::OtpReplica(Simulator& sim, AtomicBroadcast& abcast, VersionedStore& 
   abcast_.set_callbacks(AbcastCallbacks{
       [this](const Message& msg) { on_opt_deliver(msg); },
       [this](const MsgId& id, TOIndex index) { on_to_deliver(id, index); },
+      [this](std::span<const ToDelivery> batch) { on_to_deliver_batch(batch); },
   });
 }
 
@@ -48,15 +49,11 @@ void OtpReplica::submit_query(QueryFn fn, SimTime exec_duration, QueryDoneFn don
 // ---------------------------------------------------------------------------
 
 void OtpReplica::on_opt_deliver(const Message& msg) {
-  auto request = std::dynamic_pointer_cast<const TxnRequest>(msg.payload);
-  OTPDB_CHECK_MSG(request != nullptr, "data channel carried a non-transaction payload");
-  auto record = std::make_unique<TxnRecord>();
-  TxnRecord* txn = record.get();
-  txn->id = msg.id;
-  txn->request = std::move(request);
+  OTPDB_ASSERT(std::dynamic_pointer_cast<const TxnRequest>(msg.payload) != nullptr);
+  auto request = std::static_pointer_cast<const TxnRequest>(msg.payload);
+  // acquire() checks against duplicate Opt-delivery.
+  TxnRecord* txn = txns_.acquire(msg.id, std::move(request));
   txn->opt_delivered_at = sim_.now();
-  const auto [it, inserted] = txns_.emplace(msg.id, std::move(record));
-  OTPDB_CHECK_MSG(inserted, "duplicate Opt-delivery");
   serialization_module(txn);
 }
 
@@ -92,11 +89,19 @@ void OtpReplica::execution_module(TxnRecord* txn) {
 // ---------------------------------------------------------------------------
 
 void OtpReplica::on_to_deliver(const MsgId& id, TOIndex index) {
-  auto it = txns_.find(id);
-  // CC1: the entry must exist - Local Order guarantees Opt-deliver came first.
-  OTPDB_CHECK_MSG(it != txns_.end(), "TO-delivery without prior Opt-delivery");
-  TxnRecord* txn = it->second.get();
+  TxnRecord* txn = txns_.lookup(id);  // CC1: Local Order guarantees the binding
   txn->to_index = index;
+  to_deliver_one(txn);
+}
+
+void OtpReplica::on_to_deliver_batch(std::span<const ToDelivery> batch) {
+  // A decided burst drains in one pass; per-entry handling is identical to
+  // repeated on_to_deliver calls (commit orders and metrics do not change).
+  for (const auto& [id, index] : batch) on_to_deliver(id, index);
+}
+
+void OtpReplica::to_deliver_one(TxnRecord* txn) {
+  const TOIndex index = txn->to_index;
   txn->to_delivered_at = sim_.now();
   queries_.note_to_delivered(txn->request->klass, index);
 
@@ -112,7 +117,7 @@ void OtpReplica::on_to_deliver(const MsgId& id, TOIndex index) {
       sim_.cancel(txn->completion);
       txn->running = false;
     }
-    store_.abort(txn->id);  // drop any provisional re-execution of replayed work
+    store_.abort(txn->tid);  // drop any provisional re-execution of replayed work
     TxnRecord* head = queue.head();
     if (head != txn && head->deliv == DeliveryState::pending) abort_transaction(head);
     queue.reorder_before_first_pending(txn);
@@ -120,7 +125,7 @@ void OtpReplica::on_to_deliver(const MsgId& id, TOIndex index) {
     // committable transaction can sit ahead of this one.
     OTPDB_CHECK(queue.head() == txn);
     queue.remove_head(txn);
-    txns_.erase(id);
+    txns_.retire(txn);
     if (TxnRecord* next = queue.head();
         next && !next->running && next->exec == ExecState::active) {
       submit_execution(next);
@@ -133,9 +138,9 @@ void OtpReplica::on_to_deliver(const MsgId& id, TOIndex index) {
 }
 
 void OtpReplica::crash_recover_reset() {
-  for (auto& [id, txn] : txns_) {
+  txns_.for_each_live([this](TxnRecord* txn) {
     if (txn->running) sim_.cancel(txn->completion);
-  }
+  });
   txns_.clear();
   for (auto& queue : queues_) queue = ClassQueue{};
   store_.clear_provisional();
@@ -180,10 +185,12 @@ void OtpReplica::submit_execution(TxnRecord* txn) {
   // Apply the stored procedure's effects as provisional versions now; the
   // completion event models the execution cost. An abort in between rolls the
   // provisional versions back, exactly like undo-based recovery.
-  TxnContext ctx(store_, catalog_, txn->id, txn->request->klass, txn->request->args);
+  const bool record_sets = commit_hook_ != nullptr;  // checker wants read/write sets
+  TxnContext ctx(store_, catalog_, txn->tid, txn->request->klass, txn->request->args,
+                 record_sets);
   registry_.get(txn->request->proc)(ctx);
-  txn->last_reads = ctx.reads();
-  txn->last_writes = ctx.writes();
+  txn->last_reads = ctx.take_reads();
+  txn->last_writes = ctx.take_writes();
   txn->completion =
       sim_.schedule_after(txn->request->exec_duration, [this, txn] { execution_module(txn); });
 }
@@ -196,7 +203,7 @@ void OtpReplica::abort_transaction(TxnRecord* txn) {
     sim_.cancel(txn->completion);
     txn->running = false;
   }
-  store_.abort(txn->id);  // undo provisional effects
+  store_.abort(txn->tid);  // undo provisional effects
   txn->exec = ExecState::active;
   ++metrics_.aborts;
   OTPDB_TRACE("otp") << "site " << self_ << " aborts txn (" << txn->id.sender << ","
@@ -213,16 +220,19 @@ void OtpReplica::commit(TxnRecord* txn) {
 
   txn->committed_at = sim_.now();
   CommitRecord record;
-  record.site = self_;
-  record.txn = txn->id;
-  record.proc = txn->request->proc;
-  record.klass = klass;
-  record.index = txn->to_index;
-  record.at = txn->committed_at;
-  record.writes = store_.provisional_writes(txn->id);
-  record.reads = txn->last_reads;
+  if (commit_hook_) {
+    record.site = self_;
+    record.txn = txn->id;
+    record.proc = txn->request->proc;
+    record.klass = klass;
+    record.index = txn->to_index;
+    record.at = txn->committed_at;
+    const auto writes = store_.provisional_writes(txn->tid);
+    record.writes.assign(writes.begin(), writes.end());
+    record.reads = txn->last_reads;
+  }
 
-  store_.commit(txn->id, txn->to_index);
+  store_.commit(txn->tid, txn->to_index);
   queue.remove_head(txn);
 
   ++metrics_.committed;
@@ -237,7 +247,7 @@ void OtpReplica::commit(TxnRecord* txn) {
   if (commit_hook_) commit_hook_(record);
 
   const TOIndex committed_index = txn->to_index;
-  txns_.erase(txn->id);  // txn dangles beyond this point
+  txns_.retire(txn);  // txn's slot is reusable beyond this point
 
   // E3/CC4: start executing the next transaction in the class queue.
   if (TxnRecord* next = queue.head()) {

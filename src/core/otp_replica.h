@@ -22,10 +22,15 @@
 //
 // Update transactions are TO-broadcast (read-one/write-all replica control,
 // Section 2.4); queries run locally on snapshots (Section 5, QueryEngine).
+//
+// Transaction identity is interned at Opt-deliver time: the broadcast's
+// MsgId becomes a dense site-local TxnId, and the transaction table, the
+// store's provisional write-sets and the commit path all index flat arrays by
+// it. Retired ids (and their record/write-set storage) are recycled.
 #pragma once
 
 #include <memory>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "abcast/abcast.h"
@@ -35,6 +40,7 @@
 #include "core/query_engine.h"
 #include "core/replica_base.h"
 #include "core/txn.h"
+#include "core/txn_table.h"
 #include "db/partition.h"
 #include "db/procedures.h"
 #include "db/versioned_store.h"
@@ -64,13 +70,15 @@ class OtpReplica final : public ReplicaBase {
 
   /// Transactions not yet committed plus queries not yet answered.
   std::size_t in_flight() const override {
-    return txns_.size() + (metrics_.queries_started - metrics_.queries_done);
+    return txns_.live() + (metrics_.queries_started - metrics_.queries_done);
   }
 
   /// Introspection for tests: the class queue of `klass`.
   const ClassQueue& class_queue(ClassId klass) const { return queues_[klass]; }
   /// Highest definitive index processed at this site.
   TOIndex last_to_index() const { return queries_.last_to_index(); }
+  /// Introspection for tests: the MsgId -> TxnId interner.
+  const TxnIdInterner& interner() const { return txns_.interner(); }
 
   /// Garbage-collects versions no active or future snapshot can reach.
   /// Returns the number of versions dropped. Safe to call at any time.
@@ -80,6 +88,9 @@ class OtpReplica final : public ReplicaBase {
   // without a network; production wiring goes through the abcast callbacks).
   void on_opt_deliver(const Message& msg);
   void on_to_deliver(const MsgId& id, TOIndex index);
+  /// Batched TO-delivery: drains a burst in one pass (same per-entry
+  /// semantics and ordering as repeated on_to_deliver calls).
+  void on_to_deliver_batch(std::span<const ToDelivery> batch);
 
   /// Crash recovery: drops all volatile state (class queues, in-flight
   /// transactions and their scheduled completions, provisional writes,
@@ -96,6 +107,7 @@ class OtpReplica final : public ReplicaBase {
   // -- Figure 6: correctness check module ------------------------------------
   void correctness_check_module(TxnRecord* txn);
 
+  void to_deliver_one(TxnRecord* txn);
   void submit_execution(TxnRecord* txn);
   void abort_transaction(TxnRecord* txn);  // CC8: undo a wrongly ordered head
   void commit(TxnRecord* txn);
@@ -111,7 +123,7 @@ class OtpReplica final : public ReplicaBase {
   OtpReplicaConfig config_;
 
   std::vector<ClassQueue> queues_;
-  std::unordered_map<MsgId, std::unique_ptr<TxnRecord>> txns_;
+  TxnTable txns_;
 
   std::uint64_t next_client_seq_ = 0;
   ReplicaMetrics metrics_;

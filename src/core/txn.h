@@ -41,9 +41,13 @@ struct TxnRequest final : Payload {
   std::vector<ObjectId> access_set;
 };
 
-/// Per-site bookkeeping for one update transaction.
+/// Per-site bookkeeping for one update transaction. Records live in a dense
+/// per-replica table indexed by TxnId; a retired slot (commit/abort fully
+/// processed) is recycled in place by the next transaction interned to the
+/// same id, so steady state allocates nothing per transaction.
 struct TxnRecord {
   MsgId id;
+  TxnId tid = kInvalidTxnId;  ///< dense site-local identity (interned MsgId)
   std::shared_ptr<const TxnRequest> request;
 
   ExecState exec = ExecState::active;
@@ -62,6 +66,28 @@ struct TxnRecord {
   /// Read/write sets of the most recent execution (history checking).
   std::vector<std::pair<ObjectId, Value>> last_reads;
   std::vector<std::pair<ObjectId, Value>> last_writes;
+
+  /// Reinitializes the record for a fresh transaction reusing this slot.
+  /// (The read/write logs are cleared here but re-assigned wholesale by each
+  /// execution, so only the record object itself is recycled, not their
+  /// capacity.)
+  void reset(MsgId new_id, TxnId new_tid, std::shared_ptr<const TxnRequest> new_request) {
+    id = new_id;
+    tid = new_tid;
+    request = std::move(new_request);
+    exec = ExecState::active;
+    deliv = DeliveryState::pending;
+    to_index = 0;
+    running = false;
+    completion = EventId{};
+    attempts = 0;
+    opt_delivered_at = 0;
+    to_delivered_at = 0;
+    executed_at = 0;
+    committed_at = 0;
+    last_reads.clear();
+    last_writes.clear();
+  }
 };
 
 /// Emitted at commit time for history checking and metrics.

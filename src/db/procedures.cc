@@ -8,8 +8,8 @@
 namespace otpdb {
 
 void TxnContext::check_scope(ObjectId obj) const {
-  if (catalog_ != nullptr) {
-    OTPDB_CHECK_MSG(catalog_->class_of(obj) == klass_,
+  if (access_set_ == nullptr) {
+    OTPDB_CHECK_MSG(obj >= scope_lo_ && obj < scope_hi_,
                     "update transaction touched an object outside its conflict class");
   } else {
     const bool declared =
@@ -18,16 +18,29 @@ void TxnContext::check_scope(ObjectId obj) const {
   }
 }
 
+namespace {
+const Value kZeroValue{std::int64_t{0}};
+}  // namespace
+
 Value TxnContext::read(ObjectId obj) {
   check_scope(obj);
-  Value v = store_.read_for_txn(txn_, obj).value_or(Value{std::int64_t{0}});
-  reads_.emplace_back(obj, v);
+  const Value* p = store_.read_for_txn_ptr(txn_, obj);
+  const Value& v = p ? *p : kZeroValue;
+  if (record_sets_) reads_.emplace_back(obj, v);
   return v;
+}
+
+std::int64_t TxnContext::read_int(ObjectId obj) {
+  check_scope(obj);
+  const Value* p = store_.read_for_txn_ptr(txn_, obj);
+  const Value& v = p ? *p : kZeroValue;
+  if (record_sets_) reads_.emplace_back(obj, v);
+  return as_int(v);
 }
 
 void TxnContext::write(ObjectId obj, Value value) {
   check_scope(obj);
-  writes_.emplace_back(obj, value);
+  if (record_sets_) writes_.emplace_back(obj, value);
   store_.write(txn_, obj, std::move(value));
 }
 

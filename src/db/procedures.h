@@ -34,19 +34,34 @@ struct TxnArgs {
 class TxnContext {
  public:
   /// Class-scoped context: the transaction may touch its class's partition.
-  TxnContext(VersionedStore& store, const PartitionCatalog& catalog, MsgId txn, ClassId klass,
-             const TxnArgs& args)
-      : store_(store), catalog_(&catalog), txn_(txn), klass_(klass), args_(args) {}
+  /// `txn` is the site-local dense id the replica interned for this
+  /// transaction (see TxnIdInterner). `record_sets` controls read/write-set
+  /// logging: replicas disable it when no commit hook (checker) is installed,
+  /// removing a Value copy from every read on the hot path.
+  TxnContext(VersionedStore& store, const PartitionCatalog& catalog, TxnId txn, ClassId klass,
+             const TxnArgs& args, bool record_sets = true)
+      : store_(store),
+        scope_lo_(catalog.object(klass, 0)),
+        scope_hi_(scope_lo_ + catalog.objects_per_class()),
+        txn_(txn),
+        klass_(klass),
+        args_(args),
+        record_sets_(record_sets) {}
 
   /// Set-scoped context: the transaction may touch exactly `access_set`.
-  TxnContext(VersionedStore& store, const std::vector<ObjectId>& access_set, MsgId txn,
-             ClassId klass, const TxnArgs& args)
-      : store_(store), access_set_(&access_set), txn_(txn), klass_(klass), args_(args) {}
+  TxnContext(VersionedStore& store, const std::vector<ObjectId>& access_set, TxnId txn,
+             ClassId klass, const TxnArgs& args, bool record_sets = true)
+      : store_(store),
+        access_set_(&access_set),
+        txn_(txn),
+        klass_(klass),
+        args_(args),
+        record_sets_(record_sets) {}
 
   /// Reads an object within this transaction's scope (own writes visible).
   /// Unwritten objects read as integer 0.
   Value read(ObjectId obj);
-  std::int64_t read_int(ObjectId obj) { return as_int(read(obj)); }
+  std::int64_t read_int(ObjectId obj);
 
   /// Writes an object within this transaction's scope (provisional until
   /// commit).
@@ -54,21 +69,26 @@ class TxnContext {
 
   const TxnArgs& args() const { return args_; }
   ClassId conflict_class() const { return klass_; }
-  MsgId txn_id() const { return txn_; }
+  TxnId txn_id() const { return txn_; }
 
   /// Read/write sets accumulated during execution (checker support).
   const std::vector<std::pair<ObjectId, Value>>& reads() const { return reads_; }
   const std::vector<std::pair<ObjectId, Value>>& writes() const { return writes_; }
+  /// Move-out variants for the replica's per-execution record keeping.
+  std::vector<std::pair<ObjectId, Value>> take_reads() { return std::move(reads_); }
+  std::vector<std::pair<ObjectId, Value>> take_writes() { return std::move(writes_); }
 
  private:
   void check_scope(ObjectId obj) const;
 
   VersionedStore& store_;
-  const PartitionCatalog* catalog_ = nullptr;         // class scope
+  ObjectId scope_lo_ = 0;  // class scope: [scope_lo_, scope_hi_) (precomputed,
+  ObjectId scope_hi_ = 0;  // so the per-access check divides nothing)
   const std::vector<ObjectId>* access_set_ = nullptr;  // set scope
-  MsgId txn_;
+  TxnId txn_ = kInvalidTxnId;
   ClassId klass_;
   const TxnArgs& args_;
+  bool record_sets_ = true;
   std::vector<std::pair<ObjectId, Value>> reads_;
   std::vector<std::pair<ObjectId, Value>> writes_;
 };

@@ -1,0 +1,93 @@
+// Per-site interning of global transaction identities (MsgId) into dense
+// TxnIds.
+//
+// The OTP hot path touches a transaction's bookkeeping many times between
+// Opt-delivery and commit: the transaction table, the provisional write-set,
+// the class/lock queues, the commit record. Keying all of that on the 16-byte
+// MsgId struct costs a hash + probe per touch. Instead, each site interns the
+// MsgId exactly once, at Opt-deliver time, and every structure downstream is a
+// plain array indexed by the resulting TxnId. Retired ids (committed/aborted
+// and fully processed) return to a free list, so the id space stays dense for
+// the lifetime of a run and per-slot storage (write-set capacity, transaction
+// records) is recycled allocation-free.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "net/message.h"
+#include "util/assert.h"
+#include "util/types.h"
+
+namespace otpdb {
+
+class TxnIdInterner {
+ public:
+  /// Interns `id`, assigning the lowest free dense TxnId. The id must not be
+  /// currently interned (duplicate Opt-delivery is a protocol violation).
+  TxnId intern(const MsgId& id) {
+    TxnId tid;
+    if (!free_.empty()) {
+      tid = free_.back();
+      free_.pop_back();
+      ids_[tid] = id;
+    } else {
+      tid = static_cast<TxnId>(ids_.size());
+      ids_.push_back(id);
+    }
+    const auto [it, inserted] = index_.emplace(id, tid);
+    if (!inserted) {
+      free_.push_back(tid);
+      OTPDB_CHECK_MSG(false, "MsgId interned twice");
+    }
+    return tid;
+  }
+
+  /// The dense id bound to `id`, or kInvalidTxnId when not interned.
+  TxnId find(const MsgId& id) const {
+    auto it = index_.find(id);
+    return it == index_.end() ? kInvalidTxnId : it->second;
+  }
+
+  /// The dense id bound to `id`; the binding must exist.
+  TxnId lookup(const MsgId& id) const {
+    const TxnId tid = find(id);
+    OTPDB_CHECK_MSG(tid != kInvalidTxnId, "MsgId not interned");
+    return tid;
+  }
+
+  /// The MsgId bound to a live dense id.
+  const MsgId& resolve(TxnId tid) const {
+    OTPDB_ASSERT(tid < ids_.size());
+    return ids_[tid];
+  }
+
+  /// Retires a live binding; `tid` becomes reusable by a later intern().
+  void release(TxnId tid) {
+    OTPDB_CHECK(tid < ids_.size());
+    const auto erased = index_.erase(ids_[tid]);
+    OTPDB_CHECK_MSG(erased == 1, "TxnId released twice");
+    free_.push_back(tid);
+  }
+
+  /// Currently live bindings.
+  std::size_t live() const { return index_.size(); }
+
+  /// High-water slot count (live + free). Downstream dense arrays sized to
+  /// this bound cover every id intern() can currently return.
+  std::size_t capacity() const { return ids_.size(); }
+
+  /// Drops all bindings and free slots (crash recovery).
+  void clear() {
+    index_.clear();
+    ids_.clear();
+    free_.clear();
+  }
+
+ private:
+  std::unordered_map<MsgId, TxnId> index_;  // the only MsgId hash left per txn
+  std::vector<MsgId> ids_;                  // slot -> global identity
+  std::vector<TxnId> free_;                 // retired slots, LIFO for locality
+};
+
+}  // namespace otpdb

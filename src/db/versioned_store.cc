@@ -6,86 +6,124 @@
 
 namespace otpdb {
 
+VersionedStore::VersionedStore(std::uint64_t dense_objects) : dense_limit_(dense_objects) {}
+
+VersionedStore::Chain& VersionedStore::chain_slot(ObjectId obj) {
+  if (obj < dense_limit_) {
+    if (obj >= dense_chains_.size()) dense_chains_.resize(static_cast<std::size_t>(obj) + 1);
+    return dense_chains_[obj];
+  }
+  return sparse_chains_[obj];
+}
+
 void VersionedStore::load(ObjectId obj, Value value) {
-  auto& chain = chains_[obj];
+  Chain& chain = chain_slot(obj);
   OTPDB_CHECK_MSG(chain.empty(), "load() must precede all writes");
   chain.push_back(Version{0, std::move(value)});
+  ++live_objects_;
 }
 
-std::optional<Value> VersionedStore::read_latest(ObjectId obj) const {
-  auto it = chains_.find(obj);
-  if (it == chains_.end() || it->second.empty()) return std::nullopt;
-  return it->second.back().value;
-}
-
-std::optional<Value> VersionedStore::read_snapshot(ObjectId obj, TOIndex max_index) const {
-  auto it = chains_.find(obj);
-  if (it == chains_.end() || it->second.empty()) return std::nullopt;
-  const auto& chain = it->second;
+const Value* VersionedStore::read_snapshot_ptr(ObjectId obj, TOIndex max_index) const {
+  const Chain* chain = chain_of(obj);
+  if (chain == nullptr || chain->empty()) return nullptr;
   // Chains are ascending by index; find the last version with index <= max.
-  auto pos = std::upper_bound(chain.begin(), chain.end(), max_index,
+  auto pos = std::upper_bound(chain->begin(), chain->end(), max_index,
                               [](TOIndex m, const Version& v) { return m < v.index; });
-  if (pos == chain.begin()) return std::nullopt;  // object born after the snapshot
-  return std::prev(pos)->value;
+  if (pos == chain->begin()) return nullptr;  // object born after the snapshot
+  return &std::prev(pos)->value;
 }
 
-std::optional<Value> VersionedStore::read_for_txn(const MsgId& txn, ObjectId obj) const {
-  auto pit = provisional_.find(txn);
-  if (pit != provisional_.end()) {
-    auto wit = pit->second.find(obj);
-    if (wit != pit->second.end()) return wit->second;
+const Value* VersionedStore::read_for_txn_ptr(TxnId txn, ObjectId obj) const {
+  if (txn < provisional_.size()) {
+    const auto& entries = provisional_[txn].entries;
+    for (const auto& [o, v] : entries) {
+      if (o == obj) return &v;
+    }
   }
-  return read_latest(obj);
+  return read_latest_ptr(obj);
 }
 
-void VersionedStore::write(const MsgId& txn, ObjectId obj, Value value) {
-  provisional_[txn][obj] = std::move(value);
+void VersionedStore::write(TxnId txn, ObjectId obj, Value value) {
+  OTPDB_CHECK(txn != kInvalidTxnId);
+  if (txn >= provisional_.size()) provisional_.resize(txn + 1);
+  WriteSet& ws = provisional_[txn];
+  // Last write per object wins; reverse linear scan (freshest entries first,
+  // and write-sets are a handful of entries by design).
+  for (auto it = ws.entries.rbegin(); it != ws.entries.rend(); ++it) {
+    if (it->first == obj) {
+      it->second = std::move(value);
+      return;
+    }
+  }
+  ws.entries.emplace_back(obj, std::move(value));
+  ws.sorted = false;
 }
 
-void VersionedStore::commit(const MsgId& txn, TOIndex index) {
+void VersionedStore::WriteSet::ensure_sorted() {
+  if (sorted) return;
+  std::sort(entries.begin(), entries.end(),
+            [](const WriteEntry& a, const WriteEntry& b) { return a.first < b.first; });
+  sorted = true;
+}
+
+void VersionedStore::commit(TxnId txn, TOIndex index) {
   OTPDB_CHECK(index > 0);
-  auto pit = provisional_.find(txn);
-  if (pit == provisional_.end()) return;  // read-only or write-free transaction
-  for (auto& [obj, value] : pit->second) {
-    auto& chain = chains_[obj];
+  if (txn >= provisional_.size()) return;  // read-only or write-free transaction
+  WriteSet& ws = provisional_[txn];
+  ws.ensure_sorted();  // deterministic per-object commit order across sites
+  for (auto& [obj, value] : ws.entries) {
+    Chain& chain = chain_slot(obj);
     OTPDB_CHECK_MSG(chain.empty() || chain.back().index < index,
                     "commit indices must ascend per object");
+    if (chain.empty()) ++live_objects_;
     chain.push_back(Version{index, std::move(value)});
   }
-  provisional_.erase(pit);
+  ws.entries.clear();  // keeps capacity: the TxnId slot is recycled
+  ws.sorted = false;
 }
 
-void VersionedStore::abort(const MsgId& txn) { provisional_.erase(txn); }
+void VersionedStore::abort(TxnId txn) {
+  if (txn >= provisional_.size()) return;
+  provisional_[txn].entries.clear();
+  provisional_[txn].sorted = false;
+}
 
-std::vector<std::pair<ObjectId, Value>> VersionedStore::provisional_writes(
-    const MsgId& txn) const {
-  std::vector<std::pair<ObjectId, Value>> out;
-  auto pit = provisional_.find(txn);
-  if (pit == provisional_.end()) return out;
-  out.reserve(pit->second.size());
-  for (const auto& [obj, value] : pit->second) out.emplace_back(obj, value);
-  return out;
+void VersionedStore::clear_provisional() {
+  for (WriteSet& ws : provisional_) {
+    ws.entries.clear();
+    ws.sorted = false;
+  }
+}
+
+std::span<const VersionedStore::WriteEntry> VersionedStore::provisional_writes(TxnId txn) {
+  if (txn >= provisional_.size()) return {};
+  WriteSet& ws = provisional_[txn];
+  ws.ensure_sorted();
+  return ws.entries;
 }
 
 std::size_t VersionedStore::total_versions() const {
   std::size_t n = 0;
-  for (const auto& [obj, chain] : chains_) n += chain.size();
+  for (const auto& chain : dense_chains_) n += chain.size();
+  for (const auto& [obj, chain] : sparse_chains_) n += chain.size();
   return n;
 }
 
 std::size_t VersionedStore::prune(TOIndex horizon) {
   std::size_t dropped = 0;
-  for (auto& [obj, chain] : chains_) {
+  const auto prune_chain = [&](Chain& chain) {
     // Keep the newest version with index < horizon (still visible at horizon)
     // plus everything >= horizon.
     auto first_kept = std::lower_bound(
         chain.begin(), chain.end(), horizon,
         [](const Version& v, TOIndex h) { return v.index < h; });
-    if (first_kept == chain.begin()) continue;
+    if (first_kept == chain.begin()) return;
     auto erase_end = std::prev(first_kept);  // newest pre-horizon version survives
     dropped += static_cast<std::size_t>(std::distance(chain.begin(), erase_end));
     chain.erase(chain.begin(), erase_end);
-  }
+  };
+  for (auto& chain : dense_chains_) prune_chain(chain);
+  for (auto& [obj, chain] : sparse_chains_) prune_chain(chain);
   return dropped;
 }
 

@@ -48,6 +48,18 @@ const T* payload_cast(const Message& m) {
   return dynamic_cast<const T*>(m.payload.get());
 }
 
+/// Unchecked downcast for single-payload-type channels. Each protocol
+/// subscribes to its own channel and is the only sender on it, so the payload
+/// type is known statically; debug builds still verify via RTTI.
+template <typename T>
+const T* payload_cast_fast(const Message& m) {
+#ifndef NDEBUG
+  return dynamic_cast<const T*>(m.payload.get());
+#else
+  return static_cast<const T*>(m.payload.get());
+#endif
+}
+
 }  // namespace otpdb
 
 template <>

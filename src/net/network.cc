@@ -37,26 +37,41 @@ SimTime Network::sample_receiver_delay() {
 }
 
 void Network::deliver(SiteId to, Message msg, SimTime delay) {
-  sim_.schedule_after(delay, [this, to, msg = std::move(msg)] {
-    // Re-check at delivery time: the receiver may have crashed in flight.
-    // A crash loses the message (the paper's crash model; recovery replays
-    // from peers); a partition merely delays it - channels stay reliable
-    // ("a message sent by Ni to Nj is eventually received"), so the message
-    // is retried until the partition heals or an endpoint crashes.
-    if (crashed_[to] || crashed_[msg.from]) return;
-    if (partition_group_[msg.from] != partition_group_[to]) {
-      held_.emplace_back(to, msg);  // parked until the partition heals
-      return;
-    }
-    if (recorded_channel_ && msg.channel == *recorded_channel_) {
-      arrival_logs_[to].push_back(msg.id);
-    }
-    ++delivered_;
-    const auto& per_site = handlers_[to];
-    if (msg.channel < per_site.size() && per_site[msg.channel]) {
-      per_site[msg.channel](msg);
-    }
-  });
+  std::uint32_t slot;
+  if (!free_flight_slots_.empty()) {
+    slot = free_flight_slots_.back();
+    free_flight_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(in_flight_.size());
+    in_flight_.emplace_back();
+  }
+  in_flight_[slot].to = to;
+  in_flight_[slot].msg = std::move(msg);
+  sim_.schedule_after(delay, [this, slot] { deliver_now(slot); });
+}
+
+void Network::deliver_now(std::uint32_t slot) {
+  const SiteId to = in_flight_[slot].to;
+  Message msg = std::move(in_flight_[slot].msg);
+  free_flight_slots_.push_back(slot);
+  // Re-check at delivery time: the receiver may have crashed in flight.
+  // A crash loses the message (the paper's crash model; recovery replays
+  // from peers); a partition merely delays it - channels stay reliable
+  // ("a message sent by Ni to Nj is eventually received"), so the message
+  // is retried until the partition heals or an endpoint crashes.
+  if (crashed_[to] || crashed_[msg.from]) return;
+  if (partition_group_[msg.from] != partition_group_[to]) {
+    held_.emplace_back(to, std::move(msg));  // parked until the partition heals
+    return;
+  }
+  if (recorded_channel_ && msg.channel == *recorded_channel_) {
+    arrival_logs_[to].push_back(msg.id);
+  }
+  ++delivered_;
+  const auto& per_site = handlers_[to];
+  if (msg.channel < per_site.size() && per_site[msg.channel]) {
+    per_site[msg.channel](msg);
+  }
 }
 
 MsgId Network::multicast(SiteId from, Channel channel, PayloadPtr payload) {

@@ -93,7 +93,16 @@ class Network {
 
  private:
   void deliver(SiteId to, Message msg, SimTime delay);
+  void deliver_now(std::uint32_t slot);
   SimTime sample_receiver_delay();
+
+  // In-flight messages live in a recycled slab; the scheduled event captures
+  // only {this, slot}, which fits std::function's inline buffer - no heap
+  // allocation per delivery.
+  struct PendingDelivery {
+    SiteId to = 0;
+    Message msg;
+  };
 
   Simulator& sim_;
   std::size_t site_count_;
@@ -105,6 +114,8 @@ class Network {
   std::vector<std::uint32_t> partition_group_;          // 0 = none/all together
   SimTime bus_free_at_ = 0;
   std::uint64_t delivered_ = 0;
+  std::vector<PendingDelivery> in_flight_;        // slab, indexed by slot
+  std::vector<std::uint32_t> free_flight_slots_;
   std::vector<std::pair<SiteId, Message>> held_;  // parked by an active partition
   std::optional<Channel> recorded_channel_;
   std::vector<std::vector<MsgId>> arrival_logs_;

@@ -4,13 +4,31 @@
 
 namespace otpdb {
 
+namespace {
+// EventId value layout: (generation << 32 | slot) + 1, so the default-built
+// EventId{0} never names a real event.
+inline std::uint64_t encode(std::uint32_t slot, std::uint32_t generation) {
+  return ((static_cast<std::uint64_t>(generation) << 32) | slot) + 1;
+}
+}  // namespace
+
 EventId Simulator::schedule_at(SimTime at, Action action) {
   OTPDB_CHECK_MSG(at >= now_, "cannot schedule an event in the simulated past");
   OTPDB_CHECK(action != nullptr);
-  const std::uint64_t id = next_id_++;
-  heap_.push(Entry{at, next_seq_++, id});
-  actions_.emplace(id, std::move(action));
-  return EventId{id};
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.action = std::move(action);
+  s.armed = true;
+  heap_.push(Entry{at, next_seq_++, slot, s.generation});
+  ++live_;
+  return EventId{encode(slot, s.generation)};
 }
 
 EventId Simulator::schedule_after(SimTime delay, Action action) {
@@ -19,32 +37,46 @@ EventId Simulator::schedule_after(SimTime delay, Action action) {
 }
 
 bool Simulator::cancel(EventId id) {
-  auto it = actions_.find(id.value);
-  if (it == actions_.end()) return false;
-  actions_.erase(it);
-  cancelled_.insert(id.value);
+  if (id.value == 0) return false;
+  const std::uint64_t v = id.value - 1;
+  const auto slot = static_cast<std::uint32_t>(v & 0xffffffffu);
+  const auto generation = static_cast<std::uint32_t>(v >> 32);
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  if (!s.armed || s.generation != generation) return false;  // already fired/cancelled
+  s.armed = false;
+  s.action = nullptr;
+  ++s.generation;  // stale heap entry is skipped on pop
+  free_slots_.push_back(slot);
+  --live_;
   return true;
 }
 
-bool Simulator::step() {
+bool Simulator::settle_top() {
   while (!heap_.empty()) {
-    const Entry top = heap_.top();
-    heap_.pop();
-    auto cancelled = cancelled_.find(top.id);
-    if (cancelled != cancelled_.end()) {
-      cancelled_.erase(cancelled);
-      continue;
-    }
-    auto it = actions_.find(top.id);
-    OTPDB_ASSERT(it != actions_.end());
-    Action action = std::move(it->second);
-    actions_.erase(it);
-    now_ = top.at;
-    ++executed_;
-    action();
-    return true;
+    const Entry& top = heap_.top();
+    const Slot& s = slots_[top.slot];
+    if (s.armed && s.generation == top.generation) return true;
+    heap_.pop();  // cancelled or recycled; drop the stale entry
   }
   return false;
+}
+
+bool Simulator::step() {
+  if (!settle_top()) return false;
+  const Entry top = heap_.top();
+  heap_.pop();
+  Slot& s = slots_[top.slot];
+  Action action = std::move(s.action);
+  s.action = nullptr;
+  s.armed = false;
+  ++s.generation;
+  free_slots_.push_back(top.slot);
+  --live_;
+  now_ = top.at;
+  ++executed_;
+  action();
+  return true;
 }
 
 std::uint64_t Simulator::run(std::uint64_t limit) {
@@ -54,17 +86,7 @@ std::uint64_t Simulator::run(std::uint64_t limit) {
 }
 
 void Simulator::run_until(SimTime deadline) {
-  while (!heap_.empty()) {
-    // Skip cancelled entries without advancing time.
-    const Entry top = heap_.top();
-    if (cancelled_.contains(top.id)) {
-      heap_.pop();
-      cancelled_.erase(top.id);
-      continue;
-    }
-    if (top.at > deadline) break;
-    step();
-  }
+  while (settle_top() && heap_.top().at <= deadline) step();
   now_ = std::max(now_, deadline);
 }
 

@@ -11,8 +11,6 @@
 #include <functional>
 #include <queue>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "util/assert.h"
@@ -28,6 +26,7 @@ constexpr SimTime kMillisecond = 1000 * kMicrosecond;
 constexpr SimTime kSecond = 1000 * kMillisecond;
 
 /// Handle for a scheduled event; usable to cancel it before it fires.
+/// Encodes (slot, generation) into one word; 0 is the null handle.
 struct EventId {
   std::uint64_t value = 0;
   bool operator==(const EventId&) const = default;
@@ -65,17 +64,25 @@ class Simulator {
   void run_until(SimTime deadline);
 
   /// Pending (non-cancelled) event count.
-  std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+  std::size_t pending() const { return live_; }
 
   /// Total events executed so far (for bench counters / loop guards).
   std::uint64_t executed() const { return executed_; }
 
  private:
+  // Actions live in a recycled slot pool; heap entries reference slots by
+  // index and carry the slot's generation so cancelled/stale entries are
+  // recognized with one array probe (no hash tables on the event hot path).
+  struct Slot {
+    Action action;
+    std::uint32_t generation = 0;
+    bool armed = false;
+  };
   struct Entry {
     SimTime at;
     std::uint64_t seq;  // schedule order; breaks timestamp ties FIFO
-    std::uint64_t id;
-    // Actions are stored out-of-line so heap moves stay cheap.
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -84,13 +91,17 @@ class Simulator {
     }
   };
 
+  /// Pops heap entries until the top references a live event (or the heap is
+  /// empty). Returns false when nothing is pending.
+  bool settle_top();
+
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
+  std::size_t live_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_map<std::uint64_t, Action> actions_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace otpdb

@@ -23,4 +23,16 @@ using ObjectId = std::uint64_t;
 /// pre-declared stored procedure).
 using ProcId = std::uint32_t;
 
+/// Dense per-site transaction identity. Globally a transaction is named by its
+/// MsgId (sender, sequence); each site interns that 16-byte struct into a
+/// small integer at Opt-deliver time (TxnIdInterner) so every hot-path
+/// structure - transaction table, provisional write-sets, lock queues - is an
+/// array access instead of a struct hash. Ids are reused after a transaction
+/// retires (commit/abort GC), keeping the space dense for the lifetime of a
+/// run.
+using TxnId = std::uint32_t;
+
+/// Sentinel: no transaction / not interned.
+inline constexpr TxnId kInvalidTxnId = 0xffffffffu;
+
 }  // namespace otpdb

@@ -10,8 +10,8 @@
 namespace otpdb {
 namespace {
 
-const MsgId kTxnA{0, 1};
-const MsgId kTxnB{1, 1};
+constexpr TxnId kTxnA = 0;
+constexpr TxnId kTxnB = 1;
 
 TEST(Value, Conversions) {
   EXPECT_EQ(as_int(Value{std::int64_t{42}}), 42);
@@ -73,7 +73,7 @@ TEST(VersionedStore, SnapshotReadsHistoricVersions) {
   VersionedStore store;
   store.load(1, Value{std::int64_t{0}});
   for (TOIndex i = 1; i <= 5; ++i) {
-    const MsgId txn{0, i};
+    const TxnId txn = static_cast<TxnId>(i % 2);  // ids recycle across commits
     store.write(txn, 1, Value{static_cast<std::int64_t>(i * 10)});
     store.commit(txn, i);
   }
@@ -124,7 +124,7 @@ TEST(VersionedStore, PruneKeepsSnapshotHorizon) {
   VersionedStore store;
   store.load(1, Value{std::int64_t{0}});
   for (TOIndex i = 1; i <= 10; ++i) {
-    const MsgId txn{0, i};
+    const TxnId txn = static_cast<TxnId>(i % 3);  // ids recycle across commits
     store.write(txn, 1, Value{static_cast<std::int64_t>(i)});
     store.commit(txn, i);
   }

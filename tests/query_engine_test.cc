@@ -16,7 +16,7 @@ struct Fixture {
   /// Commits value to obj with the given definitive index, with full engine
   /// notification (as a replica would).
   void commit(ObjectId obj, TOIndex index, std::int64_t value) {
-    const MsgId txn{0, index};
+    const TxnId txn = 0;  // scratch dense id; released by the commit below
     store.write(txn, obj, Value{value});
     store.commit(txn, index);
     engine.note_to_delivered(catalog.class_of(obj), index);
@@ -70,7 +70,7 @@ TEST(QueryEngine, QueryWaitsForInFlightCommit) {
   EXPECT_EQ(seen, -1) << "query must block while index 4 is in flight";
   EXPECT_EQ(f.metrics.queries_done, 0u);
   // Commit lands -> query re-runs and sees it.
-  const MsgId txn{0, 4};
+  const TxnId txn = 0;
   f.store.write(txn, obj, Value{std::int64_t{44}});
   f.store.commit(txn, 4);
   f.engine.note_committed(0, 4);
@@ -116,7 +116,7 @@ TEST(QueryEngine, ObjectGranularDomains) {
   ReplicaMetrics metrics;
   QueryEngine engine(sim, store, catalog.object_count(),
                      [](ObjectId obj) { return QueryEngine::Domain{obj}; }, metrics);
-  const MsgId txn{0, 1};
+  const TxnId txn = 0;
   store.write(txn, 2, Value{std::int64_t{9}});
   store.commit(txn, 1);
   engine.advance_to_index(1);
@@ -141,7 +141,7 @@ TEST(QueryEngine, MultipleWaitersOnSameCommit) {
   }
   f.sim.run();
   EXPECT_EQ(done, 0);
-  const MsgId txn{0, 1};
+  const TxnId txn = 0;
   f.store.write(txn, f.catalog.object(0, 0), Value{std::int64_t{1}});
   f.store.commit(txn, 1);
   f.engine.note_committed(0, 1);

@@ -25,7 +25,7 @@ struct ProcFixture {
   }
 
   std::int64_t run(ProcId proc, ClassId w, std::vector<std::int64_t> ints, TOIndex index) {
-    const MsgId txn{0, index};
+    const TxnId txn = 0;  // scratch dense id; freed by the commit below
     TxnArgs args;
     args.ints = std::move(ints);
     TxnContext ctx(store, catalog, txn, w, args);

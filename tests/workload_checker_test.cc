@@ -206,7 +206,7 @@ TEST(Checker, FinalStateComparison) {
   a.load(0, Value{std::int64_t{1}});
   b.load(0, Value{std::int64_t{1}});
   EXPECT_TRUE(compare_final_states({&a, &b}, catalog).ok());
-  const MsgId txn{0, 1};
+  const TxnId txn = 0;
   b.write(txn, 1, Value{std::int64_t{9}});
   b.commit(txn, 1);
   const auto result = compare_final_states({&a, &b}, catalog);
