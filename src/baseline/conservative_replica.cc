@@ -1,5 +1,6 @@
 #include "baseline/conservative_replica.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/assert.h"
@@ -15,8 +16,11 @@ ConservativeReplica::ConservativeReplica(Simulator& sim, AtomicBroadcast& abcast
       catalog_(catalog),
       registry_(registry),
       self_(self),
-      queues_(catalog.class_count()),
       queries_(sim, store, catalog, metrics_) {
+  queues_.reserve(catalog.class_count());
+  for (std::size_t c = 0; c < catalog.class_count(); ++c) {
+    queues_.emplace_back(static_cast<ClassId>(c));
+  }
   abcast_.set_callbacks(AbcastCallbacks{
       [this](const Message& msg) { on_opt_deliver(msg); },
       [this](const MsgId& id, TOIndex index) { on_to_deliver(id, index); },
@@ -24,12 +28,13 @@ ConservativeReplica::ConservativeReplica(Simulator& sim, AtomicBroadcast& abcast
   });
 }
 
-void ConservativeReplica::submit_update(ProcId proc, ClassId klass, TxnArgs args,
-                                        SimTime exec_duration) {
-  OTPDB_CHECK(klass < catalog_.class_count());
+void ConservativeReplica::broadcast_request(ProcId proc, ClassId klass,
+                                            std::vector<ClassId> classes, TxnArgs args,
+                                            SimTime exec_duration) {
   auto request = std::make_shared<TxnRequest>();
   request->proc = proc;
   request->klass = klass;
+  request->classes = std::move(classes);
   request->args = std::move(args);
   request->origin = self_;
   request->client_seq = next_client_seq_++;
@@ -37,6 +42,24 @@ void ConservativeReplica::submit_update(ProcId proc, ClassId klass, TxnArgs args
   request->exec_duration = exec_duration;
   ++metrics_.submitted_updates;
   abcast_.broadcast(std::move(request));
+}
+
+void ConservativeReplica::submit_update(ProcId proc, ClassId klass, TxnArgs args,
+                                        SimTime exec_duration) {
+  OTPDB_CHECK(klass < catalog_.class_count());
+  broadcast_request(proc, klass, {}, std::move(args), exec_duration);
+}
+
+void ConservativeReplica::submit_update_multi(ProcId proc, std::vector<ClassId> classes,
+                                              TxnArgs args, SimTime exec_duration) {
+  normalize_class_set(classes);
+  OTPDB_CHECK(classes.back() < catalog_.class_count());
+  if (classes.size() == 1) {
+    submit_update(proc, classes.front(), std::move(args), exec_duration);
+    return;
+  }
+  const ClassId primary = classes.front();
+  broadcast_request(proc, primary, std::move(classes), std::move(args), exec_duration);
 }
 
 void ConservativeReplica::submit_query(QueryFn fn, SimTime exec_duration, QueryDoneFn done) {
@@ -68,28 +91,53 @@ void ConservativeReplica::on_to_deliver_batch(std::span<const ToDelivery> batch)
 void ConservativeReplica::to_deliver_one(TxnRecord* txn) {
   txn->to_delivered_at = sim_.now();
   txn->deliv = DeliveryState::committable;
-  queries_.note_to_delivered(txn->request->klass, txn->to_index);
+  const auto classes = txn->request->class_span();
+  queries_.advance_to_index(txn->to_index);
+  for (ClassId c : classes) queries_.note_to_delivered(c, txn->to_index);
   metrics_.opt_to_gap_ns.add(static_cast<double>(txn->to_delivered_at - txn->opt_delivered_at));
   --buffered_;
   ++queued_;
 
-  ClassQueue& queue = queues_[txn->request->klass];
-  queue.append(txn);
-  if (queue.size() == 1) submit_execution(txn);
+  // Enter every covered queue in TO-delivery order (identical at all sites),
+  // ascending by class; run once heading all of them.
+  for (ClassId c : classes) queues_[c].append(txn);
+  try_execute(txn);
+}
+
+bool ConservativeReplica::heads_all_queues(const TxnRecord* txn) const {
+  for (ClassId c : txn->request->class_span()) {
+    if (queues_[c].head() != txn) return false;
+  }
+  return true;
+}
+
+void ConservativeReplica::try_execute(TxnRecord* txn) {
+  if (txn->running || txn->exec != ExecState::active) return;
+  if (!heads_all_queues(txn)) return;
+  submit_execution(txn);
 }
 
 void ConservativeReplica::submit_execution(TxnRecord* txn) {
   OTPDB_CHECK(!txn->running);
+  OTPDB_CHECK(heads_all_queues(txn));
   txn->running = true;
   ++txn->attempts;
   const bool record_sets = commit_hook_ != nullptr;  // checker wants read/write sets
-  TxnContext ctx(store_, catalog_, txn->tid, txn->request->klass, txn->request->args,
-                 record_sets);
-  registry_.get(txn->request->proc)(ctx);
-  txn->last_reads = ctx.take_reads();
-  txn->last_writes = ctx.take_writes();
+  const TxnRequest& request = *txn->request;
+  auto run_in = [&](TxnContext& ctx) {
+    registry_.get(request.proc)(ctx);
+    txn->last_reads = ctx.take_reads();
+    txn->last_writes = ctx.take_writes();
+  };
+  if (request.multi_class()) {
+    TxnContext ctx(store_, catalog_, request.class_span(), txn->tid, request.args, record_sets);
+    run_in(ctx);
+  } else {
+    TxnContext ctx(store_, catalog_, txn->tid, request.klass, request.args, record_sets);
+    run_in(ctx);
+  }
   txn->completion =
-      sim_.schedule_after(txn->request->exec_duration, [this, txn] { on_complete(txn); });
+      sim_.schedule_after(request.exec_duration, [this, txn] { on_complete(txn); });
 }
 
 void ConservativeReplica::on_complete(TxnRecord* txn) {
@@ -98,16 +146,18 @@ void ConservativeReplica::on_complete(TxnRecord* txn) {
   txn->executed_at = sim_.now();
   txn->committed_at = sim_.now();
 
-  const ClassId klass = txn->request->klass;
-  ClassQueue& queue = queues_[klass];
-  OTPDB_CHECK(queue.head() == txn);
+  const auto classes = txn->request->class_span();
+  OTPDB_CHECK(heads_all_queues(txn));
 
   CommitRecord record;
   if (commit_hook_) {
     record.site = self_;
     record.txn = txn->id;
     record.proc = txn->request->proc;
-    record.klass = klass;
+    record.klass = txn->request->klass;
+    if (txn->request->multi_class()) {
+      record.classes.assign(classes.begin(), classes.end());
+    }
     record.index = txn->to_index;
     record.at = txn->committed_at;
     const auto writes = store_.provisional_writes(txn->tid);
@@ -116,7 +166,7 @@ void ConservativeReplica::on_complete(TxnRecord* txn) {
   }
 
   store_.commit(txn->tid, txn->to_index);
-  queue.remove_head(txn);
+  for (ClassId c : classes) queues_[c].remove_head(txn);
   --queued_;
 
   ++metrics_.committed;
@@ -129,10 +179,15 @@ void ConservativeReplica::on_complete(TxnRecord* txn) {
   if (commit_hook_) commit_hook_(record);
 
   const TOIndex committed_index = txn->to_index;
+  // Removing txn may promote the next head of every covered queue.
+  for (ClassId c : classes) {
+    if (TxnRecord* next = queues_[c].head()) try_execute(next);
+  }
+  // Advance every covered watermark before waking waiters (multi-domain
+  // commit protocol of the QueryEngine).
+  for (ClassId c : classes) queries_.note_committed(c, committed_index, /*wake=*/false);
+  queries_.wake_waiters(committed_index);
   txns_.retire(txn);  // the record slot is recycled by the next acquire
-
-  if (TxnRecord* next = queue.head()) submit_execution(next);
-  queries_.note_committed(klass, committed_index);
 }
 
 }  // namespace otpdb

@@ -34,6 +34,11 @@ class ConservativeReplica final : public ReplicaBase {
                       SiteId self);
 
   void submit_update(ProcId proc, ClassId klass, TxnArgs args, SimTime exec_duration) override;
+  /// Cross-partition update: enters every covered class queue at TO-delivery
+  /// (definitive order everywhere), executes only while heading all of them,
+  /// commits across all of them atomically.
+  void submit_update_multi(ProcId proc, std::vector<ClassId> classes, TxnArgs args,
+                           SimTime exec_duration) override;
   void submit_query(QueryFn fn, SimTime exec_duration, QueryDoneFn done) override;
   void set_commit_hook(CommitHook hook) override { commit_hook_ = std::move(hook); }
   std::size_t in_flight() const override {
@@ -45,10 +50,17 @@ class ConservativeReplica final : public ReplicaBase {
   TOIndex last_to_index() const { return queries_.last_to_index(); }
 
  private:
+  /// Builds and TO-broadcasts a request. `classes` is empty for single-class
+  /// submissions, the normalized set (and klass its first element) otherwise.
+  void broadcast_request(ProcId proc, ClassId klass, std::vector<ClassId> classes,
+                         TxnArgs args, SimTime exec_duration);
+
   void on_opt_deliver(const Message& msg);
   void on_to_deliver(const MsgId& id, TOIndex index);
   void on_to_deliver_batch(std::span<const ToDelivery> batch);
   void to_deliver_one(TxnRecord* txn);
+  bool heads_all_queues(const TxnRecord* txn) const;
+  void try_execute(TxnRecord* txn);
   void submit_execution(TxnRecord* txn);
   void on_complete(TxnRecord* txn);
 

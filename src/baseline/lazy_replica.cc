@@ -1,5 +1,6 @@
 #include "baseline/lazy_replica.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "abcast/channels.h"
@@ -51,6 +52,16 @@ void LazyReplica::submit_update(ProcId proc, ClassId klass, TxnArgs args, SimTim
   queue.push_back(std::move(txn));
   ++queued_;
   if (queue.size() == 1) run_head(klass);
+}
+
+void LazyReplica::submit_update_multi(ProcId proc, std::vector<ClassId> classes, TxnArgs args,
+                                      SimTime exec_duration) {
+  normalize_class_set(classes);
+  OTPDB_CHECK_MSG(classes.size() == 1,
+                  "the lazy engine cannot atomically commit a cross-partition transaction "
+                  "(last-writer-wins reconciliation has no cross-class serialization); "
+                  "use the OTP or conservative engine for multi-class workloads");
+  submit_update(proc, classes.front(), std::move(args), exec_duration);
 }
 
 void LazyReplica::run_head(ClassId klass) {

@@ -35,6 +35,12 @@ class LazyReplica final : public ReplicaBase {
               const PartitionCatalog& catalog, const ProcedureRegistry& registry, SiteId self);
 
   void submit_update(ProcId proc, ClassId klass, TxnArgs args, SimTime exec_duration) override;
+  /// The lazy engine reconciles per object with no cross-site serialization
+  /// at all, so a cross-partition atomic commit is outside its model: routes
+  /// single-element class sets to submit_update and rejects genuine
+  /// multi-class submissions loudly.
+  void submit_update_multi(ProcId proc, std::vector<ClassId> classes, TxnArgs args,
+                           SimTime exec_duration) override;
   void submit_query(QueryFn fn, SimTime exec_duration, QueryDoneFn done) override;
   void set_commit_hook(CommitHook hook) override { commit_hook_ = std::move(hook); }
   std::size_t in_flight() const override {

@@ -1,6 +1,7 @@
 #include "checker/history.h"
 
 #include <map>
+#include <span>
 #include <sstream>
 #include <unordered_map>
 
@@ -13,6 +14,14 @@ std::string txn_name(const MsgId& id) {
   std::ostringstream out;
   out << "(" << id.sender << "," << id.seq << ")";
   return out.str();
+}
+
+/// All classes a committed transaction covered. A multi-class commit carries
+/// its class set; single-class records (and engines that never set the
+/// vector) fall back to the primary class.
+std::span<const ClassId> classes_of(const CommitRecord& r) {
+  return r.classes.empty() ? std::span<const ClassId>(&r.klass, 1)
+                           : std::span<const ClassId>(r.classes);
 }
 
 }  // namespace
@@ -49,11 +58,15 @@ CheckResult check_one_copy_serializability(const std::vector<std::vector<CommitR
   CheckResult result;
   auto violate = [&result](const std::string& msg) { result.violations.push_back(msg); };
 
-  // Per site and class: the committed sequence, in local commit order.
+  // Per site and class: the committed sequence, in local commit order. A
+  // multi-class transaction conflicts with every class it covers, so it
+  // participates in every covered class's sequence.
   const std::size_t n_sites = logs.size();
   std::vector<std::map<ClassId, std::vector<const CommitRecord*>>> per_class(n_sites);
   for (std::size_t s = 0; s < n_sites; ++s) {
-    for (const CommitRecord& r : logs[s]) per_class[s][r.klass].push_back(&r);
+    for (const CommitRecord& r : logs[s]) {
+      for (ClassId c : classes_of(r)) per_class[s][c].push_back(&r);
+    }
   }
 
   // 1. Within each site and class, definitive indices must strictly ascend
@@ -112,6 +125,12 @@ CheckResult check_one_copy_serializability(const std::vector<std::vector<CommitR
         std::ostringstream out;
         out << "txn " << txn_name(r.txn) << ": divergent write values between sites "
             << ref->site << " and " << r.site << " (non-deterministic execution?)";
+        violate(out.str());
+      }
+      if (ref->klass != r.klass || ref->classes != r.classes) {
+        std::ostringstream out;
+        out << "txn " << txn_name(r.txn) << ": divergent conflict-class sets between sites "
+            << ref->site << " and " << r.site;
         violate(out.str());
       }
     }

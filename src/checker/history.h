@@ -4,9 +4,10 @@
 // The HistoryRecorder subscribes to every replica's commit hook and keeps a
 // per-site log of commit records. The checker then verifies the conditions of
 // Theorem 4.2: all sites commit the same update transactions, conflicting
-// transactions (same class) commit in the same relative order everywhere, that
-// order is the definitive total order, and every transaction writes identical
-// values at every site (execution determinism). Together these make the union
+// transactions (sharing any covered class - a multi-class commit participates
+// in every class of its set) commit in the same relative order everywhere,
+// that order is the definitive total order, and every transaction writes
+// identical values at every site (execution determinism). Together these make the union
 // of the local histories conflict-equivalent to the serial history in
 // definitive order - 1-copy-serializability.
 //

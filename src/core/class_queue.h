@@ -4,7 +4,16 @@
 // structural invariants that the correctness-check module relies on:
 //   * committable transactions always form a prefix of the queue (step CC10
 //     inserts newly TO-delivered transactions right after that prefix), and
-//   * only the head may be running or executed.
+//   * only a transaction heading every queue it covers may be running or
+//     executed (for single-class transactions: only the head).
+//
+// Position caching: every queued record carries a {class, ticket} entry (see
+// TxnRecord::queue_pos) where ticket is an absolute position stamp; the
+// queue's base_ counts head removals, so index = ticket - base_. This makes
+// contains() and the CC10 self-lookup O(1) - the commit path of a multi-class
+// transaction touches several queues, so the old O(n) pointer scans compound.
+// The committable prefix length is tracked directly (committable_), so CC10
+// needs no scan for the first pending transaction either.
 #pragma once
 
 #include <deque>
@@ -16,6 +25,11 @@ namespace otpdb {
 
 class ClassQueue {
  public:
+  ClassQueue() = default;
+  explicit ClassQueue(ClassId klass) : klass_(klass) {}
+
+  ClassId conflict_class() const { return klass_; }
+
   bool empty() const { return queue_.empty(); }
   std::size_t size() const { return queue_.size(); }
 
@@ -26,29 +40,33 @@ class ClassQueue {
   const TxnRecord* at(std::size_t i) const { return queue_[i]; }
 
   /// Serialization module step S1: append in tentative (Opt-deliver) order.
-  void append(TxnRecord* txn) { queue_.push_back(txn); }
+  /// (The conservative engine appends already-committable transactions in
+  /// definitive order; the committable prefix then spans the whole queue.)
+  void append(TxnRecord* txn);
 
   /// Removes the head (commit path). Pre: txn is the head.
-  void remove_head(TxnRecord* txn) {
-    OTPDB_CHECK(!queue_.empty() && queue_.front() == txn);
-    queue_.pop_front();
-  }
+  void remove_head(TxnRecord* txn);
 
-  /// True if the transaction is currently queued.
+  /// True if the transaction is currently queued. O(1) via the cached
+  /// position; the element comparison rejects stale entries left behind by a
+  /// since-destroyed same-class queue.
   bool contains(const TxnRecord* txn) const {
-    for (const TxnRecord* t : queue_)
-      if (t == txn) return true;
-    return false;
+    const TxnRecord::QueuePos* pos = txn->find_queue_pos(klass_);
+    if (pos == nullptr) return false;
+    const std::size_t index = index_of(*pos);
+    return index < queue_.size() && queue_[index] == txn;
   }
 
   /// Correctness-check step CC10: move `txn` directly before the first
-  /// pending transaction, i.e. after the committable prefix. Returns true if
-  /// the transaction actually changed position (a tentative/definitive order
-  /// mismatch among conflicting transactions).
+  /// pending transaction, i.e. after the committable prefix. Pre: txn has
+  /// just been marked committable. Returns true if the transaction actually
+  /// changed position (a tentative/definitive order mismatch among
+  /// conflicting transactions).
   bool reorder_before_first_pending(TxnRecord* txn);
 
   /// Debug validation of the structural invariants (committable prefix; only
-  /// the head running or executed).
+  /// the head running or executed; cached positions and prefix counter
+  /// consistent with the actual layout).
   void check_invariants() const;
 
   auto begin() { return queue_.begin(); }
@@ -57,7 +75,14 @@ class ClassQueue {
   auto end() const { return queue_.end(); }
 
  private:
+  std::size_t index_of(const TxnRecord::QueuePos& pos) const {
+    return static_cast<std::size_t>(pos.ticket - base_);
+  }
+
   std::deque<TxnRecord*> queue_;
+  ClassId klass_ = 0;
+  std::uint64_t base_ = 0;        ///< head removals so far (ticket of the head)
+  std::size_t committable_ = 0;   ///< length of the committable prefix
 };
 
 }  // namespace otpdb

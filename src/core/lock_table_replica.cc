@@ -50,6 +50,16 @@ void LockTableReplica::submit_update(ProcId proc, ClassId klass, TxnArgs args,
   submit_update_with_access(proc, klass, std::move(access_set), std::move(args), exec_duration);
 }
 
+void LockTableReplica::submit_update_multi(ProcId proc, std::vector<ClassId> classes,
+                                           TxnArgs args, SimTime exec_duration) {
+  normalize_class_set(classes);
+  OTPDB_CHECK_MSG(classes.size() == 1,
+                  "the lock-table engine's access-set extractor is keyed to one class's "
+                  "argument convention; submit cross-partition transactions with an "
+                  "explicit union access set via submit_update_with_access");
+  submit_update(proc, classes.front(), std::move(args), exec_duration);
+}
+
 void LockTableReplica::submit_update_with_access(ProcId proc, ClassId klass,
                                                  std::vector<ObjectId> access_set, TxnArgs args,
                                                  SimTime exec_duration) {
@@ -239,8 +249,11 @@ void LockTableReplica::commit(TxnRecord* txn) {
     ObjectQueue& queue = queues_[obj];
     OTPDB_CHECK(queue.front() == txn);
     queue.erase(queue.begin());
-    queries_.note_committed(QueryEngine::Domain{obj}, txn->to_index);
+    // Multi-domain commit protocol: advance every covered watermark first,
+    // wake waiters once below (so no query observes a half-committed state).
+    queries_.note_committed(QueryEngine::Domain{obj}, txn->to_index, /*wake=*/false);
   }
+  queries_.wake_waiters(txn->to_index);
 
   ++metrics_.committed;
   if (txn->request->origin == self_) {

@@ -62,6 +62,13 @@ class LockTableReplica final : public ReplicaBase {
 
   // ReplicaBase:
   void submit_update(ProcId proc, ClassId klass, TxnArgs args, SimTime exec_duration) override;
+  /// The lock-table engine already serializes at object granularity; its
+  /// access-set extractor is keyed to a single class's argument convention,
+  /// so it routes single-element class sets to submit_update and rejects
+  /// genuine multi-class submissions explicitly (declare the union access set
+  /// via submit_update_with_access instead).
+  void submit_update_multi(ProcId proc, std::vector<ClassId> classes, TxnArgs args,
+                           SimTime exec_duration) override;
   void submit_query(QueryFn fn, SimTime exec_duration, QueryDoneFn done) override;
   void set_commit_hook(CommitHook hook) override { commit_hook_ = std::move(hook); }
   std::size_t in_flight() const override {

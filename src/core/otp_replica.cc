@@ -1,5 +1,6 @@
 #include "core/otp_replica.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/assert.h"
@@ -17,8 +18,11 @@ OtpReplica::OtpReplica(Simulator& sim, AtomicBroadcast& abcast, VersionedStore& 
       registry_(registry),
       self_(self),
       config_(config),
-      queues_(catalog.class_count()),
       queries_(sim, store, catalog, metrics_) {
+  queues_.reserve(catalog.class_count());
+  for (std::size_t c = 0; c < catalog.class_count(); ++c) {
+    queues_.emplace_back(static_cast<ClassId>(c));
+  }
   abcast_.set_callbacks(AbcastCallbacks{
       [this](const Message& msg) { on_opt_deliver(msg); },
       [this](const MsgId& id, TOIndex index) { on_to_deliver(id, index); },
@@ -26,11 +30,12 @@ OtpReplica::OtpReplica(Simulator& sim, AtomicBroadcast& abcast, VersionedStore& 
   });
 }
 
-void OtpReplica::submit_update(ProcId proc, ClassId klass, TxnArgs args, SimTime exec_duration) {
-  OTPDB_CHECK(klass < catalog_.class_count());
+void OtpReplica::broadcast_request(ProcId proc, ClassId klass, std::vector<ClassId> classes,
+                                   TxnArgs args, SimTime exec_duration) {
   auto request = std::make_shared<TxnRequest>();
   request->proc = proc;
   request->klass = klass;
+  request->classes = std::move(classes);
   request->args = std::move(args);
   request->origin = self_;
   request->client_seq = next_client_seq_++;
@@ -38,6 +43,23 @@ void OtpReplica::submit_update(ProcId proc, ClassId klass, TxnArgs args, SimTime
   request->exec_duration = exec_duration;
   ++metrics_.submitted_updates;
   abcast_.broadcast(std::move(request));
+}
+
+void OtpReplica::submit_update(ProcId proc, ClassId klass, TxnArgs args, SimTime exec_duration) {
+  OTPDB_CHECK(klass < catalog_.class_count());
+  broadcast_request(proc, klass, {}, std::move(args), exec_duration);
+}
+
+void OtpReplica::submit_update_multi(ProcId proc, std::vector<ClassId> classes, TxnArgs args,
+                                     SimTime exec_duration) {
+  normalize_class_set(classes);
+  OTPDB_CHECK(classes.back() < catalog_.class_count());
+  if (classes.size() == 1) {  // the base model's case: no class vector needed
+    submit_update(proc, classes.front(), std::move(args), exec_duration);
+    return;
+  }
+  const ClassId primary = classes.front();
+  broadcast_request(proc, primary, std::move(classes), std::move(args), exec_duration);
 }
 
 void OtpReplica::submit_query(QueryFn fn, SimTime exec_duration, QueryDoneFn done) {
@@ -58,14 +80,13 @@ void OtpReplica::on_opt_deliver(const Message& msg) {
 }
 
 void OtpReplica::serialization_module(TxnRecord* txn) {
-  ClassQueue& queue = queues_[txn->request->klass];
-  queue.append(txn);                    // S1: append to the corresponding queue
   txn->deliv = DeliveryState::pending;  // S2: mark pending and active
   txn->exec = ExecState::active;
-  if (queue.size() == 1) {  // S3: alone in its class?
-    submit_execution(txn);  // S4: submit the execution
-  }
-  if (config_.paranoid_checks) check_invariants(txn->request->klass);
+  // S1: append to every covered queue, in ascending class order (identical at
+  // all sites, so the head-of-all gating below is deadlock-free).
+  for (ClassId c : txn->request->class_span()) queues_[c].append(txn);
+  try_execute(txn);  // S3-S5: submit iff heading all covered queues
+  if (config_.paranoid_checks) check_invariants(txn);
 }
 
 // ---------------------------------------------------------------------------
@@ -80,7 +101,7 @@ void OtpReplica::execution_module(TxnRecord* txn) {
     commit(txn);  // E2-E3: commit, start next
   } else {
     txn->exec = ExecState::executed;  // E5: mark executed
-    if (config_.paranoid_checks) check_invariants(txn->request->klass);
+    if (config_.paranoid_checks) check_invariants(txn);
   }
 }
 
@@ -103,33 +124,44 @@ void OtpReplica::on_to_deliver_batch(std::span<const ToDelivery> batch) {
 void OtpReplica::to_deliver_one(TxnRecord* txn) {
   const TOIndex index = txn->to_index;
   txn->to_delivered_at = sim_.now();
-  queries_.note_to_delivered(txn->request->klass, index);
+  const auto classes = txn->request->class_span();
+  queries_.advance_to_index(index);
+  for (ClassId c : classes) queries_.note_to_delivered(c, index);
 
-  // Crash-recovery replay: a TO-delivery at or below the class's durable
-  // commit watermark was already committed before the crash - acknowledge it
-  // without re-executing (its versions are in the store). The queue handling
-  // mirrors CC7-CC12: a wrongly ordered live head is undone, the replayed
-  // transaction surfaces to the head, and is then silently retired.
-  if (index <= queries_.last_committed(txn->request->klass)) {
-    ClassQueue& queue = queues_[txn->request->klass];
+  // Crash-recovery replay: a TO-delivery at or below the covered classes'
+  // durable commit watermarks was already committed before the crash -
+  // acknowledge it without re-executing (its versions are in the store). The
+  // queue handling mirrors CC7-CC12 per covered queue: a wrongly ordered live
+  // head is undone, the replayed transaction surfaces to the head of every
+  // covered queue, and is then silently retired.
+  if (index <= queries_.last_committed(classes.front())) {
+#ifndef NDEBUG
+    // Commits are atomic across the covered classes, so the watermarks agree.
+    for (ClassId c : classes) OTPDB_ASSERT(index <= queries_.last_committed(c));
+#endif
     txn->deliv = DeliveryState::committable;
     if (txn->running) {
       sim_.cancel(txn->completion);
       txn->running = false;
     }
     store_.abort(txn->tid);  // drop any provisional re-execution of replayed work
-    TxnRecord* head = queue.head();
-    if (head != txn && head->deliv == DeliveryState::pending) abort_transaction(head);
-    queue.reorder_before_first_pending(txn);
-    // Replayed indices precede every live transaction's index, so no
-    // committable transaction can sit ahead of this one.
-    OTPDB_CHECK(queue.head() == txn);
-    queue.remove_head(txn);
-    txns_.retire(txn);
-    if (TxnRecord* next = queue.head();
-        next && !next->running && next->exec == ExecState::active) {
-      submit_execution(next);
+    for (ClassId c : classes) {
+      ClassQueue& queue = queues_[c];
+      TxnRecord* head = queue.head();
+      if (head != txn && head->deliv == DeliveryState::pending &&
+          (head->running || head->exec == ExecState::executed)) {
+        abort_transaction(head);
+      }
+      queue.reorder_before_first_pending(txn);
+      // Replayed indices precede every live transaction's index, so no
+      // committable transaction can sit ahead of this one.
+      OTPDB_CHECK(queue.head() == txn);
     }
+    for (ClassId c : classes) queues_[c].remove_head(txn);
+    for (ClassId c : classes) {
+      if (TxnRecord* next = queues_[c].head()) try_execute(next);
+    }
+    txns_.retire(txn);
     return;
   }
 
@@ -142,43 +174,64 @@ void OtpReplica::crash_recover_reset() {
     if (txn->running) sim_.cancel(txn->completion);
   });
   txns_.clear();
-  for (auto& queue : queues_) queue = ClassQueue{};
+  for (std::size_t c = 0; c < queues_.size(); ++c) {
+    queues_[c] = ClassQueue(static_cast<ClassId>(c));
+  }
   store_.clear_provisional();
   queries_.reset_volatile();
 }
 
 void OtpReplica::correctness_check_module(TxnRecord* txn) {
-  const ClassId klass = txn->request->klass;
-  ClassQueue& queue = queues_[klass];
-  OTPDB_ASSERT(queue.contains(txn));
-
-  if (txn->exec == ExecState::executed) {  // CC2 (can only be the head)
-    OTPDB_CHECK(queue.head() == txn);
+  if (txn->exec == ExecState::executed) {  // CC2 (an executed txn heads all its queues)
+    OTPDB_CHECK(heads_all_queues(txn));
     txn->deliv = DeliveryState::committable;
     commit(txn);  // CC3-CC4
     return;
   }
   txn->deliv = DeliveryState::committable;  // CC6
-  TxnRecord* head = queue.head();
-  if (head != txn && head->deliv == DeliveryState::pending) {  // CC7
-    abort_transaction(head);                                   // CC8
+  bool moved = false;
+  for (ClassId c : txn->request->class_span()) {
+    ClassQueue& queue = queues_[c];
+    OTPDB_ASSERT(queue.contains(txn));
+    TxnRecord* head = queue.head();
+    // CC7: a pending head that has produced (or is producing) optimistic
+    // effects ahead of txn is wrongly ordered - undo it (CC8). A pending head
+    // that never started (a multi-class transaction waiting on another queue)
+    // has nothing to undo; CC10 simply reorders past it.
+    if (head != txn && head->deliv == DeliveryState::pending &&
+        (head->running || head->exec == ExecState::executed)) {
+      abort_transaction(head);  // CC8
+    }
+    moved |= queue.reorder_before_first_pending(txn);  // CC10
   }
-  const bool moved = queue.reorder_before_first_pending(txn);  // CC10
   if (moved) ++metrics_.mismatch_reorders;
-  if (queue.head() == txn && !txn->running) {  // CC11 (unless already executing)
-    submit_execution(txn);                     // CC12
+  if (!txn->running && heads_all_queues(txn)) {  // CC11 (unless already executing)
+    submit_execution(txn);                       // CC12
   }
-  if (config_.paranoid_checks) check_invariants(klass);
+  if (config_.paranoid_checks) check_invariants(txn);
 }
 
 // ---------------------------------------------------------------------------
 // Execution, abort (undo), commit
 // ---------------------------------------------------------------------------
 
+bool OtpReplica::heads_all_queues(const TxnRecord* txn) const {
+  for (ClassId c : txn->request->class_span()) {
+    if (queues_[c].head() != txn) return false;
+  }
+  return true;
+}
+
+void OtpReplica::try_execute(TxnRecord* txn) {
+  if (txn->running || txn->exec != ExecState::active) return;
+  if (!heads_all_queues(txn)) return;
+  submit_execution(txn);
+}
+
 void OtpReplica::submit_execution(TxnRecord* txn) {
   OTPDB_CHECK(!txn->running);
   OTPDB_CHECK(txn->exec == ExecState::active);
-  OTPDB_CHECK(queues_[txn->request->klass].head() == txn);
+  OTPDB_CHECK(heads_all_queues(txn));
   txn->running = true;
   ++txn->attempts;
   if (txn->attempts > 1) ++metrics_.reexecutions;
@@ -186,19 +239,29 @@ void OtpReplica::submit_execution(TxnRecord* txn) {
   // completion event models the execution cost. An abort in between rolls the
   // provisional versions back, exactly like undo-based recovery.
   const bool record_sets = commit_hook_ != nullptr;  // checker wants read/write sets
-  TxnContext ctx(store_, catalog_, txn->tid, txn->request->klass, txn->request->args,
-                 record_sets);
-  registry_.get(txn->request->proc)(ctx);
-  txn->last_reads = ctx.take_reads();
-  txn->last_writes = ctx.take_writes();
+  const TxnRequest& request = *txn->request;
+  auto run_in = [&](TxnContext& ctx) {
+    registry_.get(request.proc)(ctx);
+    txn->last_reads = ctx.take_reads();
+    txn->last_writes = ctx.take_writes();
+  };
+  if (request.multi_class()) {
+    TxnContext ctx(store_, catalog_, request.class_span(), txn->tid, request.args, record_sets);
+    run_in(ctx);
+  } else {
+    TxnContext ctx(store_, catalog_, txn->tid, request.klass, request.args, record_sets);
+    run_in(ctx);
+  }
   txn->completion =
-      sim_.schedule_after(txn->request->exec_duration, [this, txn] { execution_module(txn); });
+      sim_.schedule_after(request.exec_duration, [this, txn] { execution_module(txn); });
 }
 
 void OtpReplica::abort_transaction(TxnRecord* txn) {
-  // CC8 preconditions: the wrongly ordered transaction is the pending head.
+  // CC8 preconditions: the wrongly ordered transaction is pending and has
+  // optimistic effects to undo - which implies it heads all its queues.
   OTPDB_CHECK(txn->deliv == DeliveryState::pending);
-  OTPDB_CHECK(queues_[txn->request->klass].head() == txn);
+  OTPDB_CHECK(txn->running || txn->exec == ExecState::executed);
+  OTPDB_ASSERT(heads_all_queues(txn));
   if (txn->running) {
     sim_.cancel(txn->completion);
     txn->running = false;
@@ -214,9 +277,8 @@ void OtpReplica::commit(TxnRecord* txn) {
   OTPDB_CHECK(txn->exec == ExecState::executed);
   OTPDB_CHECK(txn->deliv == DeliveryState::committable);
   OTPDB_CHECK(txn->to_index > 0);
-  const ClassId klass = txn->request->klass;
-  ClassQueue& queue = queues_[klass];
-  OTPDB_CHECK(queue.head() == txn);
+  OTPDB_CHECK(heads_all_queues(txn));
+  const auto classes = txn->request->class_span();
 
   txn->committed_at = sim_.now();
   CommitRecord record;
@@ -224,7 +286,10 @@ void OtpReplica::commit(TxnRecord* txn) {
     record.site = self_;
     record.txn = txn->id;
     record.proc = txn->request->proc;
-    record.klass = klass;
+    record.klass = txn->request->klass;
+    if (txn->request->multi_class()) {
+      record.classes.assign(classes.begin(), classes.end());
+    }
     record.index = txn->to_index;
     record.at = txn->committed_at;
     const auto writes = store_.provisional_writes(txn->tid);
@@ -233,7 +298,7 @@ void OtpReplica::commit(TxnRecord* txn) {
   }
 
   store_.commit(txn->tid, txn->to_index);
-  queue.remove_head(txn);
+  for (ClassId c : classes) queues_[c].remove_head(txn);
 
   ++metrics_.committed;
   if (txn->request->origin == self_) {
@@ -247,17 +312,25 @@ void OtpReplica::commit(TxnRecord* txn) {
   if (commit_hook_) commit_hook_(record);
 
   const TOIndex committed_index = txn->to_index;
-  txns_.retire(txn);  // txn's slot is reusable beyond this point
 
-  // E3/CC4: start executing the next transaction in the class queue.
-  if (TxnRecord* next = queue.head()) {
-    OTPDB_CHECK(!next->running && next->exec == ExecState::active);
-    submit_execution(next);
+  // E3/CC4: removing txn may promote the next head of every covered queue to
+  // heads-all status; start whichever can now run. (A successor sharing
+  // several classes with txn is promoted by the first covered queue and
+  // already running when the later ones reach it - try_execute's guards make
+  // the loop idempotent.)
+  for (ClassId c : classes) {
+    if (TxnRecord* next = queues_[c].head()) try_execute(next);
   }
-  queries_.note_committed(klass, committed_index);
-  if (config_.paranoid_checks) check_invariants(klass);
+  // Advance every covered class watermark before waking waiters, so a query
+  // spanning several covered classes never observes a half-committed state.
+  for (ClassId c : classes) queries_.note_committed(c, committed_index, /*wake=*/false);
+  queries_.wake_waiters(committed_index);
+  if (config_.paranoid_checks) check_invariants(txn);
+  txns_.retire(txn);  // txn's slot is reusable beyond this point
 }
 
-void OtpReplica::check_invariants(ClassId klass) const { queues_[klass].check_invariants(); }
+void OtpReplica::check_invariants(const TxnRecord* txn) const {
+  for (ClassId c : txn->request->class_span()) queues_[c].check_invariants();
+}
 
 }  // namespace otpdb

@@ -23,6 +23,17 @@
 // Update transactions are TO-broadcast (read-one/write-all replica control,
 // Section 2.4); queries run locally on snapshots (Section 5, QueryEngine).
 //
+// Multi-class (cross-partition) transactions generalize every module to a
+// sorted class *set* (Section 6 direction): Opt-deliver enqueues into every
+// covered class queue, execution starts only while the transaction heads all
+// of them, CC8/CC10 run per covered queue, and commit removes the head of and
+// advances the commit watermark of every covered class atomically. All sites
+// enqueue in the same tentative order and acquire queues in ascending class
+// order, so the head-of-all gating cannot deadlock: queue contents stay
+// consistent with one total order (committable prefix in definitive order,
+// pending suffix in tentative order), and the least transaction in that order
+// always heads all its queues.
+//
 // Transaction identity is interned at Opt-deliver time: the broadcast's
 // MsgId becomes a dense site-local TxnId, and the transaction table, the
 // store's provisional write-sets and the commit path all index flat arrays by
@@ -61,6 +72,13 @@ class OtpReplica final : public ReplicaBase {
 
   // ReplicaBase:
   void submit_update(ProcId proc, ClassId klass, TxnArgs args, SimTime exec_duration) override;
+  /// Cross-partition update: enqueued into every covered class queue on
+  /// Opt-deliver, executed only while heading all of them, committed/aborted
+  /// across all of them atomically. Queues are always entered in ascending
+  /// class order at every site (same tentative order everywhere), so the
+  /// gating is deadlock-free.
+  void submit_update_multi(ProcId proc, std::vector<ClassId> classes, TxnArgs args,
+                           SimTime exec_duration) override;
   void submit_query(QueryFn fn, SimTime exec_duration, QueryDoneFn done) override;
   const ReplicaMetrics& metrics() const override { return metrics_; }
   SiteId site() const override { return self_; }
@@ -107,12 +125,23 @@ class OtpReplica final : public ReplicaBase {
   // -- Figure 6: correctness check module ------------------------------------
   void correctness_check_module(TxnRecord* txn);
 
+  /// Builds and TO-broadcasts a request. `classes` is empty for single-class
+  /// submissions, the normalized set (and klass its first element) otherwise.
+  void broadcast_request(ProcId proc, ClassId klass, std::vector<ClassId> classes,
+                         TxnArgs args, SimTime exec_duration);
+
   void to_deliver_one(TxnRecord* txn);
+  /// True when `txn` heads every class queue it covers (trivially its single
+  /// queue in the base model). Only such a transaction may run or commit.
+  bool heads_all_queues(const TxnRecord* txn) const;
+  /// Starts execution if `txn` is active, not running, and heads all its
+  /// queues (S3-S5 / CC11-CC12 generalized).
+  void try_execute(TxnRecord* txn);
   void submit_execution(TxnRecord* txn);
   void abort_transaction(TxnRecord* txn);  // CC8: undo a wrongly ordered head
   void commit(TxnRecord* txn);
 
-  void check_invariants(ClassId klass) const;
+  void check_invariants(const TxnRecord* txn) const;
 
   Simulator& sim_;
   AtomicBroadcast& abcast_;

@@ -44,10 +44,10 @@ void QueryEngine::note_to_delivered(Domain domain, TOIndex index) {
   history.push_back(index);
 }
 
-void QueryEngine::note_committed(Domain domain, TOIndex index) {
+void QueryEngine::note_committed(Domain domain, TOIndex index, bool wake) {
   OTPDB_ASSERT(last_committed_[domain] < index);
   last_committed_[domain] = index;
-  wake_waiters(index);
+  if (wake) wake_waiters(index);
 }
 
 void QueryEngine::wake_waiters(TOIndex index) {

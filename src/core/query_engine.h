@@ -54,8 +54,11 @@ class QueryEngine {
   void advance_to_index(TOIndex index);
 
   /// Engine notification: a transaction covering `domain` committed with
-  /// `index`. Wakes queries that were waiting on that commit.
-  void note_committed(Domain domain, TOIndex index);
+  /// `index`. Wakes queries that were waiting on that commit. A multi-domain
+  /// commit passes wake = false per domain (so no query observes a state
+  /// where only some covered watermarks moved) and calls wake_waiters(index)
+  /// once afterwards.
+  void note_committed(Domain domain, TOIndex index, bool wake = true);
   /// Wakes queries waiting on `index` without touching domain watermarks
   /// (multi-domain commit: call after per-domain note_committed calls).
   void wake_waiters(TOIndex index);

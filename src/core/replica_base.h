@@ -5,6 +5,7 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "core/metrics.h"
 #include "core/query.h"
@@ -24,6 +25,14 @@ class ReplicaBase {
   /// procedure's execution cost.
   virtual void submit_update(ProcId proc, ClassId klass, TxnArgs args,
                              SimTime exec_duration) = 0;
+
+  /// Accepts a client update request spanning several conflict classes (a
+  /// cross-partition transaction). `classes` need not be sorted or unique;
+  /// the engine normalizes it. Engines whose model cannot serialize
+  /// cross-class updates (lazy, lock-table) route single-element sets to
+  /// submit_update and reject genuine multi-class sets explicitly.
+  virtual void submit_update_multi(ProcId proc, std::vector<ClassId> classes, TxnArgs args,
+                                   SimTime exec_duration) = 0;
 
   /// Accepts a client read-only query at this site; executed locally
   /// (read-one/write-all). `done` fires with the completed query.

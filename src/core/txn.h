@@ -5,19 +5,35 @@
 //   delivery state:  pending (after Opt-deliver) or committable (after
 //                    TO-deliver)
 // A transaction commits only when it is both executed and committable and sits
-// at the head of its class queue.
+// at the head of *every* class queue it covers. The paper's base model
+// (Section 2.3) pins each update to exactly one conflict class; the
+// fine-granularity generalization (Section 6) lets an update span a sorted
+// *set* of classes - it enqueues into all covered queues in tentative order
+// and runs only while heading all of them.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "db/procedures.h"
 #include "net/message.h"
 #include "sim/simulator.h"
+#include "util/assert.h"
 #include "util/types.h"
 
 namespace otpdb {
+
+/// Normalizes a submitted class set in place: ascending, duplicate-free.
+/// CHECK-fails on an empty set. Every engine's submit_update_multi runs this
+/// before routing or broadcasting, so all sites see one canonical set.
+inline void normalize_class_set(std::vector<ClassId>& classes) {
+  OTPDB_CHECK_MSG(!classes.empty(), "a transaction must cover at least one class");
+  std::sort(classes.begin(), classes.end());
+  classes.erase(std::unique(classes.begin(), classes.end()), classes.end());
+}
 
 enum class ExecState : std::uint8_t { active, executed };
 enum class DeliveryState : std::uint8_t { pending, committable };
@@ -30,7 +46,12 @@ inline const char* to_string(DeliveryState s) {
 /// The TO-broadcast payload: a stored-procedure invocation request.
 struct TxnRequest final : Payload {
   ProcId proc = 0;
-  ClassId klass = 0;
+  ClassId klass = 0;  ///< primary conflict class (== classes[0] when multi-class)
+  /// Full covered class set, ascending and duplicate-free. Empty means the
+  /// single class `klass` (the common case; avoids a heap allocation per
+  /// single-class request). Multi-class engines enqueue into every covered
+  /// class queue; use class_span() to iterate uniformly.
+  std::vector<ClassId> classes;
   TxnArgs args;
   SiteId origin = 0;           ///< site that accepted the client request
   std::uint64_t client_seq = 0;  ///< origin-local request number
@@ -39,6 +60,13 @@ struct TxnRequest final : Payload {
   /// Pre-declared object access set; used by the fine-granularity lock-table
   /// engine (paper Section 6 / [13]). Empty under the class-queue model.
   std::vector<ObjectId> access_set;
+
+  /// The covered classes as a span (always non-empty, ascending).
+  std::span<const ClassId> class_span() const {
+    return classes.empty() ? std::span<const ClassId>(&klass, 1)
+                           : std::span<const ClassId>(classes);
+  }
+  bool multi_class() const { return classes.size() > 1; }
 };
 
 /// Per-site bookkeeping for one update transaction. Records live in a dense
@@ -67,6 +95,33 @@ struct TxnRecord {
   std::vector<std::pair<ObjectId, Value>> last_reads;
   std::vector<std::pair<ObjectId, Value>> last_writes;
 
+  /// Cached class-queue membership: one entry per ClassQueue currently
+  /// holding this record (at most one queue per class id). `ticket` is an
+  /// absolute position stamp (queue index = ticket - queue base; the base
+  /// advances on every head removal, so pops never touch cached positions).
+  /// Maintained exclusively by ClassQueue - it turns contains() and the CC10
+  /// self-lookup into O(1) instead of pointer scans over the queue, which
+  /// matters once multi-class commits touch several queues - and
+  /// cross-checked by check_invariants(). A queue destroyed wholesale leaves
+  /// stale entries behind; the next append to a same-class queue reclaims
+  /// them.
+  struct QueuePos {
+    ClassId klass = 0;
+    std::uint64_t ticket = 0;
+  };
+  std::vector<QueuePos> queue_pos;
+
+  QueuePos* find_queue_pos(ClassId klass) {
+    for (auto& p : queue_pos)
+      if (p.klass == klass) return &p;
+    return nullptr;
+  }
+  const QueuePos* find_queue_pos(ClassId klass) const {
+    for (const auto& p : queue_pos)
+      if (p.klass == klass) return &p;
+    return nullptr;
+  }
+
   /// Reinitializes the record for a fresh transaction reusing this slot.
   /// (The read/write logs are cleared here but re-assigned wholesale by each
   /// execution, so only the record object itself is recycled, not their
@@ -87,6 +142,7 @@ struct TxnRecord {
     committed_at = 0;
     last_reads.clear();
     last_writes.clear();
+    queue_pos.clear();
   }
 };
 
@@ -95,7 +151,8 @@ struct CommitRecord {
   SiteId site = 0;
   MsgId txn;
   ProcId proc = 0;
-  ClassId klass = 0;
+  ClassId klass = 0;              ///< primary class (first covered class)
+  std::vector<ClassId> classes;   ///< all covered classes; empty means {klass}
   TOIndex index = 0;
   SimTime at = 0;
   std::vector<std::pair<ObjectId, Value>> writes;

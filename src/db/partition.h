@@ -1,10 +1,15 @@
 // Conflict-class partitioning of the database (paper Section 2.3).
 //
-// Each stored procedure (transaction) belongs to exactly one conflict class,
-// and each class owns a disjoint partition of the objects. Transactions of the
-// same class are serialized through that class's queue; transactions of
-// different classes never conflict. The catalog maps objects to classes and is
-// identical at every site.
+// Each class owns a disjoint partition of the objects; the catalog maps
+// objects to classes and is identical at every site. In the paper's base
+// model every update transaction belongs to exactly one conflict class and is
+// serialized through that class's queue. The class-*set* generalization
+// (Section 6's fine-granularity direction) lets an update cover several
+// classes: it is serialized through every covered queue (entered in ascending
+// class order, run while heading all of them) and may touch the union of the
+// covered partitions - see TxnContext's class-set scope and
+// ReplicaBase::submit_update_multi. Transactions whose class sets are
+// disjoint never conflict.
 #pragma once
 
 #include <cstdint>

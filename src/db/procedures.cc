@@ -8,7 +8,14 @@
 namespace otpdb {
 
 void TxnContext::check_scope(ObjectId obj) const {
-  if (access_set_ == nullptr) {
+  if (catalog_ != nullptr) {
+    // Class-set scope: the object's class must be one of the covered classes
+    // (ascending, tiny - typically two - so a linear probe beats a binary
+    // search's branches).
+    const ClassId klass = catalog_->class_of(obj);
+    const bool covered = std::find(classes_.begin(), classes_.end(), klass) != classes_.end();
+    OTPDB_CHECK_MSG(covered, "update transaction touched an object outside its class set");
+  } else if (access_set_ == nullptr) {
     OTPDB_CHECK_MSG(obj >= scope_lo_ && obj < scope_hi_,
                     "update transaction touched an object outside its conflict class");
   } else {

@@ -5,11 +5,15 @@
 // deterministic functions of (arguments, database state) - they execute
 // independently at every site and must produce identical writes everywhere.
 // The TxnContext enforces the conflict-class discipline of Section 2.3: an
-// update transaction may only touch objects of its own class partition.
+// update transaction may only touch objects of its declared scope - its own
+// class partition (base model), the union of the partitions of a pre-declared
+// class *set* (multi-class transactions, Section 6's fine-granularity
+// direction), or an explicit object access set (the lock-table engine).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -48,6 +52,21 @@ class TxnContext {
         args_(args),
         record_sets_(record_sets) {}
 
+  /// Class-set-scoped context: the transaction may touch the union of the
+  /// partitions of `classes` (ascending, duplicate-free; must stay alive for
+  /// the duration of the execution). Used for multi-class (cross-partition)
+  /// update transactions.
+  TxnContext(VersionedStore& store, const PartitionCatalog& catalog,
+             std::span<const ClassId> classes, TxnId txn, const TxnArgs& args,
+             bool record_sets = true)
+      : store_(store),
+        catalog_(&catalog),
+        classes_(classes),
+        txn_(txn),
+        klass_(classes.front()),
+        args_(args),
+        record_sets_(record_sets) {}
+
   /// Set-scoped context: the transaction may touch exactly `access_set`.
   TxnContext(VersionedStore& store, const std::vector<ObjectId>& access_set, TxnId txn,
              ClassId klass, const TxnArgs& args, bool record_sets = true)
@@ -68,7 +87,16 @@ class TxnContext {
   void write(ObjectId obj, Value value);
 
   const TxnArgs& args() const { return args_; }
+  /// The primary conflict class (the first covered class for multi-class
+  /// transactions - procedures spanning classes should address objects via
+  /// explicit ids or classes carried in their arguments).
   ClassId conflict_class() const { return klass_; }
+  /// All covered classes; a single-element span for class-scoped contexts,
+  /// empty for set-scoped (lock-table) contexts.
+  std::span<const ClassId> covered_classes() const {
+    return classes_.empty() && access_set_ == nullptr ? std::span<const ClassId>(&klass_, 1)
+                                                      : classes_;
+  }
   TxnId txn_id() const { return txn_; }
 
   /// Read/write sets accumulated during execution (checker support).
@@ -84,6 +112,8 @@ class TxnContext {
   VersionedStore& store_;
   ObjectId scope_lo_ = 0;  // class scope: [scope_lo_, scope_hi_) (precomputed,
   ObjectId scope_hi_ = 0;  // so the per-access check divides nothing)
+  const PartitionCatalog* catalog_ = nullptr;          // class-set scope
+  std::span<const ClassId> classes_;                   // class-set scope
   const std::vector<ObjectId>* access_set_ = nullptr;  // set scope
   TxnId txn_ = kInvalidTxnId;
   ClassId klass_;

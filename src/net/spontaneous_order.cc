@@ -1,6 +1,8 @@
 #include "net/spontaneous_order.h"
 
+#include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "util/assert.h"
 
@@ -11,24 +13,40 @@ SpontaneousOrderStats analyze_spontaneous_order(const std::vector<std::vector<Ms
   if (logs.empty()) return stats;
   const std::size_t n_sites = logs.size();
 
-  // Count how many sites logged each message; only messages seen exactly once
-  // per site ("common") participate in the metric.
-  std::unordered_map<MsgId, std::size_t> seen_count;
-  for (const auto& log : logs)
-    for (const MsgId& id : log) ++seen_count[id];
+  // Count how many *distinct* sites logged each message; only messages seen
+  // at every site ("common") participate in the metric. Retransmissions under
+  // chaos can log a message several times at one site - counting occurrences
+  // would let a message duplicated at site A and missing from site B pass as
+  // common. Sites are processed in order, so per-site dedup only needs the
+  // last site that counted each message.
+  struct SiteCount {
+    std::size_t sites = 0;           ///< distinct sites that logged the message
+    std::size_t last_site = SIZE_MAX;  ///< last site counted (dedup within a site)
+  };
+  std::unordered_map<MsgId, SiteCount> seen;
+  for (std::size_t site = 0; site < n_sites; ++site) {
+    for (const MsgId& id : logs[site]) {
+      SiteCount& c = seen[id];
+      if (c.last_site != site) {
+        c.last_site = site;
+        ++c.sites;
+      }
+    }
+  }
 
-  auto is_common = [&](const MsgId& id) { return seen_count.at(id) == n_sites; };
+  auto is_common = [&](const MsgId& id) { return seen.at(id).sites == n_sites; };
 
   // Rank of each common message at each site, computed over the common subset
-  // so that ranks are comparable across sites.
+  // so that ranks are comparable across sites. Only a message's first
+  // occurrence at a site defines its rank; duplicates are skipped.
   std::unordered_map<MsgId, std::vector<std::size_t>> ranks;
-  ranks.reserve(seen_count.size());
+  ranks.reserve(seen.size());
   for (std::size_t site = 0; site < n_sites; ++site) {
     std::size_t rank = 0;
     for (const MsgId& id : logs[site]) {
       if (!is_common(id)) continue;
       auto& r = ranks[id];
-      OTPDB_CHECK_MSG(r.size() == site, "message logged twice at one site");
+      if (r.size() != site) continue;  // duplicate occurrence at this site
       r.push_back(rank++);
     }
   }
@@ -40,10 +58,12 @@ SpontaneousOrderStats analyze_spontaneous_order(const std::vector<std::vector<Ms
     if (same) ++stats.same_position;
   }
 
-  // Pairwise agreement over pairs adjacent at site 0.
+  // Pairwise agreement over pairs adjacent at site 0 (first occurrences only).
   std::vector<MsgId> ref;
-  for (const MsgId& id : logs[0])
-    if (is_common(id)) ref.push_back(id);
+  std::unordered_set<MsgId> in_ref;
+  for (const MsgId& id : logs[0]) {
+    if (is_common(id) && in_ref.insert(id).second) ref.push_back(id);
+  }
   for (std::size_t i = 0; i + 1 < ref.size(); ++i) {
     const auto& r_a = ranks.at(ref[i]);
     const auto& r_b = ranks.at(ref[i + 1]);

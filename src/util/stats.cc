@@ -65,7 +65,11 @@ void Histogram::add(double x) {
   } else if (x >= hi_) {
     ++overflow_;
   } else {
-    ++counts_[static_cast<std::size_t>((x - lo_) / width_)];
+    // (x - lo_)/width_ can round up to counts_.size() for x just below hi_
+    // (width_ is a rounded quotient), so clamp: the in-range guard above
+    // already decided this sample belongs to the top bucket.
+    const auto index = static_cast<std::size_t>((x - lo_) / width_);
+    ++counts_[index < counts_.size() ? index : counts_.size() - 1];
   }
 }
 

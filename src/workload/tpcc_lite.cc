@@ -59,6 +59,55 @@ Procedures register_procedures(ProcedureRegistry& registry, const PartitionCatal
         catalog.object(ctx.conflict_class(), layout.delivered_offset());
     ctx.write(delivered, ctx.read_int(delivered) + 1);
   });
+
+  // Remote NewOrder: the order is placed at the home warehouse (district
+  // order id, customer billing) but every item line is supplied from a remote
+  // warehouse's stock - a cross-partition commit over {home, supply}. Money
+  // conservation becomes global: revenue for stock sold at `supply` lands on
+  // a `home` customer.
+  procs.new_order_remote =
+      registry.add("tpcc_new_order_remote", [&catalog, layout](TxnContext& ctx) {
+        const auto& a = ctx.args().ints;
+        OTPDB_CHECK_MSG(a.size() >= 6 && a.size() % 2 == 0,
+                        "new_order_remote args: [home_w, supply_w, district, customer, "
+                        "item, qty, ...]");
+        const auto home = static_cast<ClassId>(a[0]);
+        const auto supply = static_cast<ClassId>(a[1]);
+        const ObjectId district =
+            catalog.object(home, layout.district_offset(static_cast<std::uint64_t>(a[2])));
+        const ObjectId customer =
+            catalog.object(home, layout.customer_offset(static_cast<std::uint64_t>(a[3])));
+        ctx.write(district, ctx.read_int(district) + 1);  // dense order ids
+        std::int64_t total = 0;
+        for (std::size_t i = 4; i + 1 < a.size(); i += 2) {
+          const ObjectId stock =
+              catalog.object(supply, layout.stock_offset(static_cast<std::uint64_t>(a[i])));
+          const std::int64_t qty = a[i + 1];
+          const std::int64_t level = ctx.read_int(stock);
+          if (level >= qty) {
+            ctx.write(stock, level - qty);
+            total += qty * kItemPrice;
+          }
+        }
+        ctx.write(customer, ctx.read_int(customer) + total);
+      });
+
+  // Remote Payment: a customer of a *remote* warehouse settles at this (home)
+  // warehouse - the home warehouse books the receipt (YTD), the customer's
+  // balance lives at their own warehouse.
+  procs.payment_remote =
+      registry.add("tpcc_payment_remote", [&catalog, layout](TxnContext& ctx) {
+        const auto& a = ctx.args().ints;
+        OTPDB_CHECK_MSG(a.size() == 4,
+                        "payment_remote args: [home_w, customer_w, customer, amount]");
+        const auto home = static_cast<ClassId>(a[0]);
+        const auto customer_w = static_cast<ClassId>(a[1]);
+        const ObjectId customer =
+            catalog.object(customer_w, layout.customer_offset(static_cast<std::uint64_t>(a[2])));
+        const ObjectId ytd = catalog.object(home, layout.ytd_offset());
+        ctx.write(customer, ctx.read_int(customer) - a[3]);
+        ctx.write(ytd, ctx.read_int(ytd) + a[3]);
+      });
   return procs;
 }
 
@@ -111,8 +160,24 @@ void TpccDriver::submit_one(SiteId site) {
   const double pay_w = no_w + config_.payment_weight;
   const double del_w = pay_w + config_.delivery_weight;
 
+  // Remote (cross-warehouse) decision: the short-circuit keeps the rng stream
+  // identical to the all-local mix whenever remote_txn_fraction is 0.
+  const bool remote = config_.remote_txn_fraction > 0.0 && catalog.class_count() > 1 &&
+                      rng.bernoulli(config_.remote_txn_fraction);
+  // Uniform among the other warehouses (home keeps its Zipf affinity).
+  const auto pick_remote_warehouse = [&]() {
+    const auto r = static_cast<ClassId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(catalog.class_count()) - 2));
+    return r >= warehouse ? static_cast<ClassId>(r + 1) : r;
+  };
+
   if (dice < no_w) {
     TxnArgs args;
+    const ClassId supply = remote ? pick_remote_warehouse() : warehouse;
+    if (remote) {
+      args.ints.push_back(static_cast<std::int64_t>(warehouse));
+      args.ints.push_back(static_cast<std::int64_t>(supply));
+    }
     args.ints.push_back(rng.uniform_int(0, static_cast<std::int64_t>(layout_.n_districts) - 1));
     args.ints.push_back(rng.uniform_int(0, static_cast<std::int64_t>(layout_.n_customers) - 1));
     for (std::size_t i = 0; i < config_.items_per_order; ++i) {
@@ -120,15 +185,32 @@ void TpccDriver::submit_one(SiteId site) {
       args.ints.push_back(rng.uniform_int(1, 5));  // quantity
     }
     ++stats_.new_orders;
-    cluster_.replica(site).submit_update(procs_.new_order, warehouse, std::move(args), exec);
+    if (remote) {
+      ++stats_.remote_new_orders;
+      cluster_.replica(site).submit_update_multi(procs_.new_order_remote,
+                                                 {warehouse, supply}, std::move(args), exec);
+    } else {
+      cluster_.replica(site).submit_update(procs_.new_order, warehouse, std::move(args), exec);
+    }
   } else if (dice < pay_w) {
     TxnArgs args;
     const std::int64_t amount = rng.uniform_int(1, 100);
-    args.ints = {rng.uniform_int(0, static_cast<std::int64_t>(layout_.n_customers) - 1),
-                 amount};
+    const std::int64_t customer =
+        rng.uniform_int(0, static_cast<std::int64_t>(layout_.n_customers) - 1);
     ++stats_.payments;
     stats_.payment_volume += amount;
-    cluster_.replica(site).submit_update(procs_.payment, warehouse, std::move(args), exec);
+    if (remote) {
+      const ClassId customer_w = pick_remote_warehouse();
+      args.ints = {static_cast<std::int64_t>(warehouse),
+                   static_cast<std::int64_t>(customer_w), customer, amount};
+      ++stats_.remote_payments;
+      cluster_.replica(site).submit_update_multi(procs_.payment_remote,
+                                                 {warehouse, customer_w}, std::move(args),
+                                                 exec);
+    } else {
+      args.ints = {customer, amount};
+      cluster_.replica(site).submit_update(procs_.payment, warehouse, std::move(args), exec);
+    }
   } else if (dice < del_w) {
     TxnArgs args;
     args.ints = {rng.uniform_int(0, static_cast<std::int64_t>(layout_.n_districts) - 1)};
@@ -159,6 +241,13 @@ std::vector<std::string> TpccDriver::audit(SiteId site) {
   std::vector<std::string> violations;
   const auto& catalog = cluster_.catalog();
   const VersionedStore& store = cluster_.store(site);
+  // Remote NewOrder bills a home customer for stock sold at a supply
+  // warehouse and remote Payment moves a receipt across warehouses, so with
+  // remote transactions money conservation only holds summed over all
+  // warehouses; an all-local mix must balance per warehouse (the stricter
+  // original audit).
+  const bool per_warehouse_money = stats_.remote_new_orders + stats_.remote_payments == 0;
+  std::int64_t global_sold = 0, global_balances = 0, global_ytd = 0;
   for (ClassId w = 0; w < catalog.class_count(); ++w) {
     auto value_of = [&](std::uint64_t offset) {
       return as_int(
@@ -175,7 +264,10 @@ std::vector<std::string> TpccDriver::audit(SiteId site) {
       balances += value_of(layout_.customer_offset(c));
     }
     const std::int64_t ytd = value_of(layout_.ytd_offset());
-    if (balances + ytd != sold * kItemPrice) {
+    global_sold += sold;
+    global_balances += balances;
+    global_ytd += ytd;
+    if (per_warehouse_money && balances + ytd != sold * kItemPrice) {
       std::ostringstream out;
       out << "site " << site << " warehouse " << w << ": balances(" << balances << ") + ytd("
           << ytd << ") != revenue(" << sold * kItemPrice << ")";
@@ -191,6 +283,12 @@ std::vector<std::string> TpccDriver::audit(SiteId site) {
                              std::to_string(w) + ": oversold item " + std::to_string(i));
       }
     }
+  }
+  if (global_balances + global_ytd != global_sold * kItemPrice) {
+    std::ostringstream out;
+    out << "site " << site << ": global balances(" << global_balances << ") + ytd("
+        << global_ytd << ") != revenue(" << global_sold * kItemPrice << ")";
+    violations.push_back(out.str());
   }
   return violations;
 }

@@ -2,12 +2,17 @@
 //
 // TPC-C's warehouse-centric partitioning maps directly onto the paper's
 // conflict classes (Section 2.3): each warehouse is one conflict class owning
-// its stock, districts and customers; the update transactions (NewOrder,
-// Payment, Delivery) each touch a single warehouse, while the read-only
-// StockLevel and multi-warehouse analytics queries run on snapshots
-// (Section 5). The procedures maintain audit invariants (money and stock
-// conservation, dense order ids) that hold exactly if and only if execution
-// is 1-copy-serializable - integration tests and the example assert them.
+// its stock, districts and customers; the home-warehouse update transactions
+// (NewOrder, Payment, Delivery) each touch a single warehouse, while the
+// read-only StockLevel and multi-warehouse analytics queries run on snapshots
+// (Section 5). Like real TPC-C (~10% remote NewOrder, ~15% remote Payment),
+// a remote_txn_fraction of NewOrders/Payments touches a second warehouse -
+// submitted as multi-class transactions over {home, remote} (cross-partition
+// commits; OTP/conservative engines only). The procedures maintain audit
+// invariants (money and stock conservation, dense order ids) that hold
+// exactly if and only if execution is 1-copy-serializable - per warehouse for
+// all-local mixes, globally once remote transactions move money across
+// warehouses - and integration tests and the example assert them.
 #pragma once
 
 #include <cstdint>
@@ -43,6 +48,12 @@ struct Procedures {
   ProcId new_order = 0;  ///< args: [district, customer, item1, qty1, item2, qty2, ...]
   ProcId payment = 0;    ///< args: [customer, amount]
   ProcId delivery = 0;   ///< args: [district]
+  /// Remote (cross-warehouse) variants, submitted as multi-class transactions
+  /// covering {home, remote} - TPC-C's ~10% remote NewOrder / ~15% remote
+  /// Payment. Warehouses travel in the arguments because a multi-class
+  /// context has no single conflict_class() to resolve offsets against.
+  ProcId new_order_remote = 0;  ///< args: [home_w, supply_w, district, customer, item, qty, ...]
+  ProcId payment_remote = 0;    ///< args: [home_w, customer_w, customer, amount]
 };
 
 constexpr std::int64_t kInitialStock = 1000;
@@ -69,6 +80,12 @@ struct MixConfig {
   SimTime mean_query_exec_time = 6 * kMillisecond;
   SimTime duration = 2 * kSecond;
   double warehouse_skew_theta = 0.0;  ///< Zipf over warehouses (home-warehouse affinity)
+  /// Fraction of NewOrder/Payment transactions that touch a second (remote)
+  /// warehouse - a cross-partition commit over {home, remote}. Requires a
+  /// multi-class-capable engine (OTP, conservative) and >= 2 warehouses.
+  /// The home warehouse keeps its Zipf affinity; the remote one is uniform
+  /// among the others.
+  double remote_txn_fraction = 0.0;
 };
 
 /// Per-transaction-type counters reported by the driver.
@@ -77,6 +94,8 @@ struct MixStats {
   std::uint64_t payments = 0;
   std::uint64_t deliveries = 0;
   std::uint64_t stock_level_queries = 0;
+  std::uint64_t remote_new_orders = 0;  ///< cross-warehouse NewOrders (subset of new_orders)
+  std::uint64_t remote_payments = 0;    ///< cross-warehouse Payments (subset of payments)
   std::int64_t payment_volume = 0;  ///< total amount across submitted payments
 };
 

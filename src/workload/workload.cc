@@ -1,5 +1,6 @@
 #include "workload/workload.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/assert.h"
@@ -19,6 +20,18 @@ ProcId register_rmw_procedure(ProcedureRegistry& registry, const PartitionCatalo
   });
 }
 
+ProcId register_rmw_cross_procedure(ProcedureRegistry& registry) {
+  return registry.add("rmw_cross", [](TxnContext& ctx) {
+    const auto& ints = ctx.args().ints;
+    OTPDB_CHECK_MSG(ints.size() >= 2, "rmw_cross args: [delta, object...]");
+    const std::int64_t delta = ints[0];
+    for (std::size_t i = 1; i < ints.size(); ++i) {
+      const auto obj = static_cast<ObjectId>(ints[i]);
+      ctx.write(obj, ctx.read_int(obj) + delta);
+    }
+  });
+}
+
 WorkloadDriver::WorkloadDriver(Cluster& cluster, WorkloadConfig config, std::uint64_t seed)
     : cluster_(cluster), config_(config) {
   Rng master(seed);
@@ -30,6 +43,7 @@ void WorkloadDriver::start() {
   OTPDB_CHECK(!started_);
   started_ = true;
   rmw_proc_ = register_rmw_procedure(cluster_.procedures(), cluster_.catalog());
+  rmw_cross_proc_ = register_rmw_cross_procedure(cluster_.procedures());
   const SimTime horizon = cluster_.sim().now() + config_.duration;
   for (SiteId s = 0; s < cluster_.site_count(); ++s) schedule_next(s, horizon);
 }
@@ -82,6 +96,14 @@ void WorkloadDriver::submit_one(SiteId site) {
     return;
   }
 
+  // Short-circuit keeps the rng stream identical to the base model whenever
+  // cross_class_fraction is 0 (seed-stable workloads).
+  if (config_.cross_class_fraction > 0.0 && catalog.class_count() > 1 &&
+      rng.bernoulli(config_.cross_class_fraction)) {
+    submit_cross_class(site, rng);
+    return;
+  }
+
   const auto klass = static_cast<ClassId>(
       rng.zipf(static_cast<std::uint64_t>(catalog.class_count()), config_.class_skew_theta));
   TxnArgs args;
@@ -96,6 +118,38 @@ void WorkloadDriver::submit_one(SiteId site) {
           : config_.mean_exec_time;
   ++updates_submitted_;
   cluster_.replica(site).submit_update(rmw_proc_, klass, std::move(args), exec);
+}
+
+void WorkloadDriver::submit_cross_class(SiteId site, Rng& rng) {
+  const auto& catalog = cluster_.catalog();
+  const std::size_t span =
+      std::min(std::max<std::size_t>(config_.cross_class_span, 2), catalog.class_count());
+  const auto first = static_cast<ClassId>(
+      rng.zipf(static_cast<std::uint64_t>(catalog.class_count()), config_.class_skew_theta));
+  std::vector<ClassId> classes;
+  classes.reserve(span);
+  for (std::size_t c = 0; c < span; ++c) {
+    classes.push_back(static_cast<ClassId>((first + c) % catalog.class_count()));
+  }
+  // One read-modify-write per covered class (round-robin beyond the span), so
+  // the transaction genuinely touches every partition it locks.
+  TxnArgs args;
+  args.ints.push_back(rng.uniform_int(1, 10));  // delta
+  const std::size_t ops = std::max(config_.ops_per_txn, span);
+  for (std::size_t i = 0; i < ops; ++i) {
+    const ClassId klass = classes[i % span];
+    const auto off = static_cast<std::uint64_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(catalog.objects_per_class() - 1)));
+    args.ints.push_back(static_cast<std::int64_t>(catalog.object(klass, off)));
+  }
+  const SimTime exec =
+      config_.exponential_exec
+          ? static_cast<SimTime>(rng.exponential(static_cast<double>(config_.mean_exec_time)))
+          : config_.mean_exec_time;
+  ++updates_submitted_;
+  ++cross_class_submitted_;
+  cluster_.replica(site).submit_update_multi(rmw_cross_proc_, std::move(classes),
+                                             std::move(args), exec);
 }
 
 }  // namespace otpdb

@@ -22,6 +22,15 @@ struct WorkloadConfig {
   /// more transactions in the same class, i.e. higher conflict rates.
   double class_skew_theta = 0.0;
 
+  /// Fraction of update transactions that span several conflict classes
+  /// (cross-partition commits; requires an engine with submit_update_multi
+  /// support - OTP or conservative). 0 reproduces the paper's base model.
+  double cross_class_fraction = 0.0;
+  /// Classes a cross-class update covers (clamped to the class count). The
+  /// first class is drawn with class_skew_theta; the rest are the following
+  /// consecutive classes (mod class count).
+  std::size_t cross_class_span = 2;
+
   /// Stored-procedure execution cost: exponential with this mean (or constant
   /// when `exponential_exec` is false).
   SimTime mean_exec_time = 4 * kMillisecond;
@@ -47,6 +56,14 @@ struct WorkloadConfig {
 /// Idempotent per registry (call once).
 ProcId register_rmw_procedure(ProcedureRegistry& registry, const PartitionCatalog& catalog);
 
+/// Cross-class variant for multi-class transactions: args.ints =
+/// [delta, object_1, ..., object_k] with *absolute* object ids (the covered
+/// class set is carried by the submission, so offsets cannot be resolved
+/// against a single conflict_class()); each referenced object gets
+/// value += delta. The ids must lie inside the transaction's class set -
+/// TxnContext aborts the run otherwise.
+ProcId register_rmw_cross_procedure(ProcedureRegistry& registry);
+
 /// Per-site client load generator.
 class WorkloadDriver {
  public:
@@ -57,19 +74,24 @@ class WorkloadDriver {
   void start();
 
   std::uint64_t updates_submitted() const { return updates_submitted_; }
+  std::uint64_t cross_class_submitted() const { return cross_class_submitted_; }
   std::uint64_t queries_submitted() const { return queries_submitted_; }
   ProcId rmw_proc() const { return rmw_proc_; }
+  ProcId rmw_cross_proc() const { return rmw_cross_proc_; }
 
  private:
   void schedule_next(SiteId site, SimTime horizon);
   void submit_one(SiteId site);
+  void submit_cross_class(SiteId site, Rng& rng);
   SimTime next_gap(Rng& rng) const;
 
   Cluster& cluster_;
   WorkloadConfig config_;
   std::vector<Rng> site_rngs_;
   ProcId rmw_proc_ = 0;
+  ProcId rmw_cross_proc_ = 0;
   std::uint64_t updates_submitted_ = 0;
+  std::uint64_t cross_class_submitted_ = 0;
   std::uint64_t queries_submitted_ = 0;
   bool started_ = false;
 };

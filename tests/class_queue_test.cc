@@ -132,6 +132,64 @@ TEST(ClassQueue, InvariantViolationNonHeadRunningDies) {
   EXPECT_DEATH(q.check_invariants(), "head");
 }
 
+TEST(ClassQueue, CachedPositionsSurviveChurn) {
+  // The O(1) contains()/reorder lookups rely on the cached {class, ticket}
+  // entries staying exact through appends, reorders (which shift the pending
+  // prefix) and head removals (which advance the base). check_invariants()
+  // cross-checks every cached position against the actual layout.
+  ClassQueue q;
+  std::vector<std::unique_ptr<TxnRecord>> txns;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    txns.push_back(make_txn(i, DeliveryState::pending));
+    q.append(txns.back().get());
+    q.check_invariants();
+  }
+  // TO-deliver out of tentative order: 3, 5, 0 - each reorder shifts the
+  // displaced pending run and must rewrite its cached tickets.
+  for (std::uint64_t t : {3u, 5u, 0u}) {
+    txns[t]->deliv = DeliveryState::committable;
+    q.reorder_before_first_pending(txns[t].get());
+    q.check_invariants();
+  }
+  EXPECT_EQ(q.at(0), txns[3].get());
+  EXPECT_EQ(q.at(1), txns[5].get());
+  EXPECT_EQ(q.at(2), txns[0].get());
+  for (const auto& t : txns) EXPECT_TRUE(q.contains(t.get()));
+  // Drain the committable prefix; removal must clear the removed record's
+  // cache entry and leave everyone else's exact.
+  for (std::uint64_t t : {3u, 5u, 0u}) {
+    q.remove_head(txns[t].get());
+    q.check_invariants();
+    EXPECT_FALSE(q.contains(txns[t].get()));
+  }
+  EXPECT_EQ(q.head(), txns[1].get());
+  EXPECT_EQ(q.size(), 3u);
+}
+
+TEST(ClassQueue, SameRecordInTwoQueues) {
+  // A multi-class record holds one cached position per covered queue; the
+  // queues must not clobber each other's entries.
+  ClassQueue qa(0), qb(1);
+  auto t = make_txn(1, DeliveryState::pending);
+  auto blocker = make_txn(2, DeliveryState::pending);
+  qa.append(blocker.get());
+  qa.append(t.get());
+  qb.append(t.get());
+  EXPECT_TRUE(qa.contains(t.get()));
+  EXPECT_TRUE(qb.contains(t.get()));
+  EXPECT_EQ(t->queue_pos.size(), 2u);
+  t->deliv = DeliveryState::committable;
+  EXPECT_TRUE(qa.reorder_before_first_pending(t.get()));   // moves past blocker
+  EXPECT_FALSE(qb.reorder_before_first_pending(t.get()));  // already at the front
+  qa.check_invariants();
+  qb.check_invariants();
+  qa.remove_head(t.get());
+  EXPECT_FALSE(qa.contains(t.get()));
+  EXPECT_TRUE(qb.contains(t.get()));
+  qb.remove_head(t.get());
+  EXPECT_TRUE(t->queue_pos.empty());
+}
+
 TEST(ClassQueue, IterationOrder) {
   ClassQueue q;
   std::vector<std::unique_ptr<TxnRecord>> txns;

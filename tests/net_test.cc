@@ -242,6 +242,32 @@ TEST(SpontaneousOrder, EmptyLogs) {
   EXPECT_DOUBLE_EQ(stats.position_agreement(), 1.0);
 }
 
+TEST(SpontaneousOrder, DuplicatedAndMissingMessageDoesNotAbort) {
+  // Regression: `b` is retransmitted at site 0 (logged twice) and lost at
+  // site 1. Counting occurrences instead of distinct sites made it pass the
+  // "seen at every site" filter (2 occurrences == 2 sites) and then hit the
+  // mid-metric CHECK abort when site 1's rank pass never saw it. Per-site
+  // counting must exclude it; the rest of the metric is unaffected.
+  const MsgId a{0, 0}, b{1, 0}, c{2, 0};
+  std::vector<std::vector<MsgId>> logs = {{a, b, b, c}, {a, c}};
+  const auto stats = analyze_spontaneous_order(logs);
+  EXPECT_EQ(stats.messages, 2u);  // a and c; the duplicated+missing b is out
+  EXPECT_EQ(stats.same_position, 2u);
+  EXPECT_DOUBLE_EQ(stats.position_agreement(), 1.0);
+}
+
+TEST(SpontaneousOrder, RetransmissionRanksByFirstOccurrence) {
+  // A message logged twice at one site (received at every site) stays common;
+  // its rank at that site is its *first* occurrence, and the duplicate must
+  // neither abort the analysis nor shift later ranks.
+  const MsgId a{0, 0}, b{1, 0}, c{2, 0};
+  std::vector<std::vector<MsgId>> logs = {{a, b, a, c}, {a, b, c}, {a, b, c}};
+  const auto stats = analyze_spontaneous_order(logs);
+  EXPECT_EQ(stats.messages, 3u);
+  EXPECT_EQ(stats.same_position, 3u) << "dedup keeps ranks aligned across sites";
+  EXPECT_DOUBLE_EQ(stats.pair_agreement(), 1.0);
+}
+
 TEST(SpontaneousOrder, HighJitterLowersAgreement) {
   // End-to-end: blast messages through a jittery segment and confirm the
   // agreement metric reacts.

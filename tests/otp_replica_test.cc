@@ -59,7 +59,12 @@ struct Site {
       const ObjectId counter = catalog.object(ctx.conflict_class(), 0);
       const ObjectId order_log = catalog.object(ctx.conflict_class(), 1);
       ctx.write(counter, ctx.read_int(counter) + ctx.args().ints[0]);
-      ctx.write(order_log, ctx.read_int(order_log) * 100 + ctx.args().ints[1]);
+      // Base-100 digit append, in unsigned space: long runs overflow 64 bits
+      // and must wrap (defined) rather than trip UBSan; the tests that decode
+      // the log only ever append a handful of tags.
+      const auto shifted = static_cast<std::uint64_t>(ctx.read_int(order_log)) * 100 +
+                           static_cast<std::uint64_t>(ctx.args().ints[1]);
+      ctx.write(order_log, static_cast<std::int64_t>(shifted));
     });
     replica = std::make_unique<OtpReplica>(sim, abcast, store, catalog, registry, id,
                                            OtpReplicaConfig{.paranoid_checks = true});

@@ -185,6 +185,85 @@ TEST(Recovery, StaggeredDoubleCrashRecovery) {
   EXPECT_TRUE(convergence.ok()) << convergence.summary();
 }
 
+TEST(Recovery, CrossClassWorkloadSurvivesCrashRecovery) {
+  // A site crashes while multi-class (cross-partition) transactions are in
+  // flight; the redo replay must suppress every pre-crash commit exactly once
+  // across *all* covered class watermarks and re-run the rest, converging to
+  // the peers' state.
+  Cluster cluster(recovery_config(10));
+  HistoryRecorder recorder(cluster);
+  WorkloadConfig wl;
+  wl.updates_per_second_per_site = 70;
+  wl.mean_exec_time = 2 * kMillisecond;
+  wl.duration = 1500 * kMillisecond;
+  wl.cross_class_fraction = 0.35;
+  wl.cross_class_span = 2;
+  WorkloadDriver driver(cluster, wl, 12);
+  driver.start();
+  cluster.sim().schedule_at(400 * kMillisecond, [&] { cluster.crash_site(3); });
+  cluster.sim().schedule_at(800 * kMillisecond, [&] { cluster.recover_site(3); });
+  cluster.run_for(wl.duration);
+  ASSERT_TRUE(cluster.quiesce(120 * kSecond));
+  cluster.run_for(kSecond);
+
+  EXPECT_GT(driver.cross_class_submitted(), 0u);
+  const CheckResult convergence = compare_final_states(all_stores(cluster), cluster.catalog());
+  EXPECT_TRUE(convergence.ok()) << convergence.summary();
+  const CheckResult check = check_one_copy_serializability(recorder.site_logs());
+  EXPECT_TRUE(check.ok()) << check.summary();
+}
+
+TEST(Recovery, ReplayDoesNotDoubleApplyCrossClassWork) {
+  // Deterministic cross-class increments (one object per covered class): if
+  // replay re-committed or dropped a multi-class transaction in *any* covered
+  // partition, a counter would over- or undershoot.
+  Cluster cluster(recovery_config(11, 3));
+  const ProcId rmw_cross = register_rmw_cross_procedure(cluster.procedures());
+  const auto& catalog = cluster.catalog();
+  auto submit_pair = [&cluster, &catalog, rmw_cross](SiteId site, ClassId a, ClassId b) {
+    TxnArgs args;
+    args.ints = {1, static_cast<std::int64_t>(catalog.object(a, 0)),
+                 static_cast<std::int64_t>(catalog.object(b, 0))};
+    cluster.replica(site).submit_update_multi(rmw_cross, {a, b}, std::move(args),
+                                              kMillisecond);
+  };
+  const int kBefore = 30, kAfter = 30;
+  for (int i = 0; i < kBefore; ++i) {
+    cluster.sim().schedule_at(i * 5 * kMillisecond, [submit_pair, i] {
+      submit_pair(static_cast<SiteId>(i % 3), static_cast<ClassId>(i % 4),
+                  static_cast<ClassId>((i + 1) % 4));
+    });
+  }
+  cluster.sim().schedule_at(200 * kMillisecond, [&] { cluster.crash_site(2); });
+  for (int i = 0; i < kAfter; ++i) {
+    cluster.sim().schedule_at(260 * kMillisecond + i * 5 * kMillisecond, [submit_pair, i] {
+      submit_pair(static_cast<SiteId>(i % 2), static_cast<ClassId>(i % 4),
+                  static_cast<ClassId>((i + 2) % 4));
+    });
+  }
+  cluster.sim().schedule_at(600 * kMillisecond, [&] { cluster.recover_site(2); });
+  cluster.run_for(kSecond);
+  ASSERT_TRUE(cluster.quiesce(60 * kSecond));
+  cluster.run_for(kSecond);
+
+  // Each transaction increments exactly two class counters; the grand total
+  // must equal 2 * (commits that did not vanish with the crashed acceptor).
+  // Requests accepted at site 2 before its crash may be lost entirely (a real
+  // client retries elsewhere), so compare sites against each other and
+  // against site 0's committed history rather than a fixed count.
+  std::int64_t total = 0;
+  for (ClassId c = 0; c < 4; ++c) {
+    const ObjectId obj = cluster.catalog().object(c, 0);
+    const auto v0 = cluster.store(2).read_latest(obj);
+    ASSERT_TRUE(v0.has_value()) << "class " << c;
+    total += as_int(*v0);
+    for (SiteId s = 0; s < 3; ++s) {
+      EXPECT_EQ(cluster.store(s).read_latest(obj), v0) << "class " << c << " site " << s;
+    }
+  }
+  EXPECT_EQ(total, 2 * static_cast<std::int64_t>(cluster.replica(0).metrics().committed));
+}
+
 TEST(Recovery, HistoryStaysOneCopySerializableWithRecovery) {
   Cluster cluster(recovery_config(7));
   HistoryRecorder recorder(cluster);

@@ -37,9 +37,11 @@ int usage() {
                "  run:        --engine=otp|conservative|lazy|locktable --sites=N\n"
                "              --classes=N --objects=N --rate=TXN/S/SITE --seconds=S\n"
                "              --exec-ms=MS --query-frac=F --skew=THETA --hiccup=P\n"
+               "              --cross-frac=F --cross-span=N (multi-class updates;\n"
+               "              otp/conservative engines)\n"
                "              --abcast=opt|sequencer --seed=N --crash-site=S --crash-ms=T\n"
                "  tpcc:       --warehouses=N --sites=N --rate=TXN/S/SITE --seconds=S\n"
-               "              --skew=THETA --seed=N\n"
+               "              --skew=THETA --remote-frac=F --seed=N\n"
                "  spontorder: --interval-ms=MS --messages=N --sites=N --seed=N\n");
   return 2;
 }
@@ -129,6 +131,8 @@ int cmd_run(const Flags& flags) {
   wl.mean_exec_time = static_cast<SimTime>(flags.get_double("exec-ms", 3.0) * 1e6);
   wl.query_fraction = flags.get_double("query-frac", 0.0);
   wl.class_skew_theta = flags.get_double("skew", 0.0);
+  wl.cross_class_fraction = flags.get_double("cross-frac", 0.0);
+  wl.cross_class_span = static_cast<std::size_t>(flags.get_int("cross-span", 2));
   wl.duration = static_cast<SimTime>(flags.get_double("seconds", 2.0) * 1e9);
   WorkloadDriver driver(*cluster, wl, config.seed * 7 + 3);
   driver.start();
@@ -183,6 +187,7 @@ int cmd_tpcc(const Flags& flags) {
   mix.txn_per_second_per_site = flags.get_double("rate", 120.0);
   mix.duration = static_cast<SimTime>(flags.get_double("seconds", 2.0) * 1e9);
   mix.warehouse_skew_theta = flags.get_double("skew", 0.0);
+  mix.remote_txn_fraction = flags.get_double("remote-frac", 0.0);
   tpcc::TpccDriver driver(cluster, layout, mix, config.seed + 41);
   driver.start();
   cluster.run_for(mix.duration);

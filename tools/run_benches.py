@@ -30,7 +30,7 @@ import sys
 import time
 from pathlib import Path
 
-DEFAULT_BENCHES = ["micro_components", "otp_vs_lazy", "tpcc_mix"]
+DEFAULT_BENCHES = ["micro_components", "otp_vs_lazy", "tpcc_mix", "cross_class"]
 
 # Counters worth keeping in the trajectory (throughput/latency/consistency).
 KEEP_COUNTERS = (
@@ -42,6 +42,9 @@ KEEP_COUNTERS = (
     "query_latency_ms",
     "lost_update_conflicts",
     "items_per_second",
+    "cross_pct",
+    "remote_pct",
+    "serializable",
 )
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
