@@ -18,6 +18,12 @@
 #include "util/rng.h"
 #include "workload/workload.h"
 
+// Defines the counting global operator new (one TU per binary): lets
+// BM_SimulatorSteadyStateChurn report allocations per event (expected: 0.0 —
+// InlineAction turns an oversized capture into a compile error, so the cost
+// cannot silently reappear).
+#include "util/counting_new.h"
+
 namespace otpdb::bench {
 namespace {
 
@@ -43,6 +49,31 @@ void BM_SimulatorScheduleAndRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_SimulatorScheduleAndRun);
+
+/// Steady-state event churn with the allocation counter attached: a pool of
+/// self-rescheduling events (the hot-path closure shape: a pointer or two)
+/// runs with constant pending count. allocs_per_event must be 0.0 — the
+/// proof that InlineAction keeps per-event heap allocations off the path.
+void BM_SimulatorSteadyStateChurn(benchmark::State& state) {
+  struct Recur {
+    Simulator* sim;
+    void operator()() const { sim->schedule_after(10, Recur{sim}); }
+  };
+  Simulator sim;
+  for (int i = 0; i < 64; ++i) sim.schedule_at(i, Recur{&sim});
+  sim.run(8 * 1024);  // warm-up: slot pool and heap vector reach steady size
+  const std::uint64_t allocs_before = heap_alloc_count.load(std::memory_order_relaxed);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    constexpr std::uint64_t kChunk = 4096;
+    events += sim.run(kChunk);
+  }
+  const std::uint64_t allocs = heap_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  state.counters["allocs_per_event"] =
+      events ? static_cast<double>(allocs) / static_cast<double>(events) : 0.0;
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_SimulatorSteadyStateChurn);
 
 void BM_StoreWriteCommit(benchmark::State& state) {
   VersionedStore store(128);

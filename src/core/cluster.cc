@@ -21,19 +21,27 @@ Cluster::Cluster(ClusterConfig config, ReplicaFactory factory)
 
 void Cluster::build(ReplicaFactory factory) {
   OTPDB_CHECK(config_.n_sites >= 1);
-  net_ = std::make_unique<Network>(sim_, config_.n_sites, config_.net, rng_.split());
+  if (config_.parallel.sharded()) {
+    engine_ = std::make_unique<ShardedEngine>(config_.n_sites, config_.parallel);
+  }
+  // The network runs on the hub shard; each site's protocol stack (failure
+  // detector, broadcast endpoint, replica) runs on the site's own shard. In
+  // classic mode both are the one simulator.
+  net_ = std::make_unique<Network>(sim(), config_.n_sites, config_.net, rng_.split());
+  if (engine_) net_->attach_engine(*engine_);
 
   for (SiteId s = 0; s < config_.n_sites; ++s) {
-    fds_.push_back(std::make_unique<FailureDetector>(sim_, *net_, s, config_.fd));
+    fds_.push_back(std::make_unique<FailureDetector>(site_sim(s), *net_, s, config_.fd));
   }
   for (SiteId s = 0; s < config_.n_sites; ++s) {
     switch (config_.abcast) {
       case AbcastKind::optimistic:
-        abcasts_.push_back(std::make_unique<OptAbcast>(sim_, *net_, *fds_[s], s, config_.opt));
+        abcasts_.push_back(
+            std::make_unique<OptAbcast>(site_sim(s), *net_, *fds_[s], s, config_.opt));
         break;
       case AbcastKind::sequencer:
         abcasts_.push_back(
-            std::make_unique<SequencerAbcast>(sim_, *net_, s, config_.sequencer));
+            std::make_unique<SequencerAbcast>(site_sim(s), *net_, s, config_.sequencer));
         break;
     }
     // Dense object index covering the catalog's whole contiguous id space.
@@ -41,7 +49,7 @@ void Cluster::build(ReplicaFactory factory) {
   }
   for (SiteId s = 0; s < config_.n_sites; ++s) {
     replicas_.push_back(factory(
-        ReplicaDeps{sim_, *net_, *abcasts_[s], *stores_[s], catalog_, registry_, s}));
+        ReplicaDeps{site_sim(s), *net_, *abcasts_[s], *stores_[s], catalog_, registry_, s}));
     OTPDB_CHECK(replicas_.back() != nullptr);
   }
   if (config_.enable_failure_detector) {
@@ -70,8 +78,8 @@ void Cluster::load_everywhere(ObjectId obj, Value value) {
 }
 
 bool Cluster::quiesce(SimTime deadline_span) {
-  const SimTime deadline = sim_.now() + deadline_span;
-  while (sim_.now() < deadline) {
+  const SimTime deadline = sim().now() + deadline_span;
+  while (sim().now() < deadline) {
     bool idle = true;
     for (const auto& replica : replicas_) idle &= replica->in_flight() == 0;
     if (idle) return true;

@@ -21,6 +21,7 @@
 #include "db/procedures.h"
 #include "db/versioned_store.h"
 #include "net/network.h"
+#include "sim/sharded_engine.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 
@@ -42,6 +43,13 @@ struct ClusterConfig {
   bool enable_failure_detector = true;
 
   OtpReplicaConfig otp;
+
+  /// Driver selection: threads == 1 (default) runs the classic single-queue
+  /// loop; threads >= 2 (or force_sharded) runs the site-sharded engine with
+  /// conservative lookahead windows (see sim/sharded_engine.h). All sharded
+  /// runs of one configuration are bit-for-bit identical regardless of the
+  /// thread count.
+  ParallelismConfig parallel;
 };
 
 /// Per-site dependencies handed to a replica factory.
@@ -64,7 +72,17 @@ class Cluster {
   /// Builds the cluster with a custom engine factory.
   Cluster(ClusterConfig config, ReplicaFactory factory);
 
-  Simulator& sim() { return sim_; }
+  /// The control clock: the single simulator in classic mode, the network
+  /// hub shard in sharded mode. Schedule chaos injection and client
+  /// submissions that address arbitrary sites here; never mutate
+  /// network-wide state from a site-shard event.
+  Simulator& sim() { return engine_ ? engine_->hub() : sim_; }
+  /// The shard owning `site`'s replica/abcast/store events (== sim() in
+  /// classic mode). Per-site client streams schedule here so they run on the
+  /// site's own worker.
+  Simulator& site_sim(SiteId site) { return engine_ ? engine_->site(site) : sim_; }
+  /// The sharded engine, or nullptr when the classic loop drives the run.
+  ShardedEngine* engine() { return engine_.get(); }
   Network& net() { return *net_; }
   const ClusterConfig& config() const { return config_; }
   const PartitionCatalog& catalog() const { return catalog_; }
@@ -86,7 +104,13 @@ class Cluster {
   void load_everywhere(ObjectId obj, Value value);
 
   /// Runs the simulation for a fixed span of simulated time.
-  void run_for(SimTime span) { sim_.run_until(sim_.now() + span); }
+  void run_for(SimTime span) {
+    if (engine_) {
+      engine_->run_until(engine_->now() + span);
+    } else {
+      sim_.run_until(sim_.now() + span);
+    }
+  }
 
   /// Crashes a site: it stops sending and receiving; its volatile replica and
   /// protocol state is considered lost (cleared on recovery).
@@ -113,7 +137,9 @@ class Cluster {
   void build(ReplicaFactory factory);
 
   ClusterConfig config_;
-  Simulator sim_;
+  Simulator sim_;  // classic-mode clock (unused when engine_ is set)
+  // Destroyed after everything holding shard references (declaration order).
+  std::unique_ptr<ShardedEngine> engine_;
   Rng rng_;
   PartitionCatalog catalog_;
   ProcedureRegistry registry_;

@@ -21,15 +21,33 @@ QueryEngine::QueryEngine(Simulator& sim, const VersionedStore& store, std::size_
       to_history_(domain_count),
       last_committed_(domain_count, 0) {}
 
+QueryEngine::QuerySlot QueryEngine::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const QuerySlot slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  pool_.emplace_back();
+  return static_cast<QuerySlot>(pool_.size() - 1);
+}
+
+void QueryEngine::release_slot(QuerySlot slot) {
+  pool_[slot].fn = nullptr;  // drop closures now; the slot object is recycled
+  pool_[slot].done = nullptr;
+  free_slots_.push_back(slot);
+}
+
 void QueryEngine::submit(QueryFn fn, SimTime exec_duration, QueryDoneFn done) {
-  auto query = std::make_shared<RunningQuery>();
-  query->fn = std::move(fn);
-  query->done = std::move(done);
-  query->snapshot = last_to_index_;  // the "i" of the paper's index "i.5"
-  query->submitted_at = sim_.now();
+  const QuerySlot slot = acquire_slot();
+  RunningQuery& query = pool_[slot];
+  query.fn = std::move(fn);
+  query.done = std::move(done);
+  query.snapshot = last_to_index_;  // the "i" of the paper's index "i.5"
+  query.submitted_at = sim_.now();
+  query.attempts = 0;
   ++metrics_.queries_started;
-  ++active_snapshots_[query->snapshot];
-  sim_.schedule_after(exec_duration, [this, query] { run(query); });
+  ++active_snapshots_[query.snapshot];
+  sim_.schedule_after(exec_duration, [this, slot] { run(slot); });
 }
 
 void QueryEngine::advance_to_index(TOIndex index) {
@@ -51,16 +69,23 @@ void QueryEngine::note_committed(Domain domain, TOIndex index, bool wake) {
 }
 
 void QueryEngine::wake_waiters(TOIndex index) {
-  auto it = waiters_.find(index);
-  if (it == waiters_.end()) return;
-  std::vector<std::shared_ptr<RunningQuery>> ready = std::move(it->second);
-  waiters_.erase(it);
-  for (auto& q : ready) run(std::move(q));
+  const auto first = std::lower_bound(
+      waiters_.begin(), waiters_.end(), index,
+      [](const Waiter& w, TOIndex idx) { return w.index < idx; });
+  auto last = first;
+  while (last != waiters_.end() && last->index == index) ++last;
+  if (first == last) return;
+  // Collect before running: a rerun may park again and mutate waiters_.
+  wake_scratch_.clear();
+  for (auto it = first; it != last; ++it) wake_scratch_.push_back(it->slot);
+  waiters_.erase(first, last);
+  for (const QuerySlot slot : wake_scratch_) run(slot);
 }
 
 void QueryEngine::reset_volatile() {
   for (auto& history : to_history_) history.clear();
   last_to_index_ = 0;
+  for (const Waiter& w : waiters_) release_slot(w.slot);  // parked queries are dropped
   waiters_.clear();
   active_snapshots_.clear();
 }
@@ -94,30 +119,40 @@ Value QueryEngine::read(ObjectId obj, TOIndex snapshot) const {
   return store_.read_snapshot(obj, snapshot).value_or(Value{std::int64_t{0}});
 }
 
-void QueryEngine::run(std::shared_ptr<RunningQuery> query) {
-  ++query->attempts;
-  if (query->attempts > 1) ++metrics_.query_retries;
-  QueryContext ctx(query->snapshot,
+void QueryEngine::run(QuerySlot slot) {
+  RunningQuery& query = pool_[slot];
+  ++query.attempts;
+  if (query.attempts > 1) ++metrics_.query_retries;
+  QueryContext ctx(query.snapshot,
                    [this](ObjectId obj, TOIndex snapshot) { return read(obj, snapshot); });
   try {
-    query->fn(ctx);
+    query.fn(ctx);
   } catch (const detail::SnapshotNotReady& wait) {
-    waiters_[wait.index].push_back(std::move(query));
+    // Park sorted by the awaited index; upper_bound keeps arrival order
+    // within an index (the old map<index, vector> FIFO semantics).
+    const auto pos = std::upper_bound(
+        waiters_.begin(), waiters_.end(), wait.index,
+        [](TOIndex idx, const Waiter& w) { return idx < w.index; });
+    waiters_.insert(pos, Waiter{wait.index, slot});
     return;
   }
   ++metrics_.queries_done;
-  auto active = active_snapshots_.find(query->snapshot);
+  auto active = active_snapshots_.find(query.snapshot);
   if (active != active_snapshots_.end() && --active->second == 0) {
     active_snapshots_.erase(active);
   }
   QueryReport report;
-  report.snapshot_index = query->snapshot;
-  report.submitted_at = query->submitted_at;
+  report.snapshot_index = query.snapshot;
+  report.submitted_at = query.submitted_at;
   report.completed_at = sim_.now();
-  report.attempts = query->attempts;
+  report.attempts = query.attempts;
   report.reads = ctx.reads();
   metrics_.query_latency_ns.add(static_cast<double>(report.completed_at - report.submitted_at));
-  if (query->done) query->done(report);
+  // Move the completion callback out before releasing: done() may submit a
+  // fresh query and legitimately reuse this slot.
+  QueryDoneFn done = std::move(query.done);
+  release_slot(slot);
+  if (done) done(report);
 }
 
 }  // namespace otpdb

@@ -85,6 +85,11 @@ class QueryEngine {
   TOIndex gc_horizon() const;
 
  private:
+  // Queries live in a recycled slot pool: the scheduled event and the parked
+  // waiter entries carry a slot index, not a shared_ptr, so neither submit
+  // nor park/wake touches the heap once the pool is warm. A slot is freed
+  // exactly when its query completes (it is referenced from one place at a
+  // time: the scheduled event, then at most one waiter entry per retry).
   struct RunningQuery {
     QueryFn fn;
     QueryDoneFn done;
@@ -92,8 +97,18 @@ class QueryEngine {
     SimTime submitted_at = 0;
     std::uint32_t attempts = 0;
   };
+  using QuerySlot = std::uint32_t;
 
-  void run(std::shared_ptr<RunningQuery> query);
+  /// A parked query: re-run when the transaction with definitive index
+  /// `index` commits locally. Kept sorted by index (FIFO within an index).
+  struct Waiter {
+    TOIndex index;
+    QuerySlot slot;
+  };
+
+  QuerySlot acquire_slot();
+  void release_slot(QuerySlot slot);
+  void run(QuerySlot slot);
   Value read(ObjectId obj, TOIndex snapshot) const;  // throws detail::SnapshotNotReady
 
   Simulator& sim_;
@@ -104,7 +119,10 @@ class QueryEngine {
   std::vector<std::vector<TOIndex>> to_history_;  // per domain, ascending
   std::vector<TOIndex> last_committed_;           // per domain
   TOIndex last_to_index_ = 0;
-  std::map<TOIndex, std::vector<std::shared_ptr<RunningQuery>>> waiters_;
+  std::vector<RunningQuery> pool_;       // slot-indexed, recycled
+  std::vector<QuerySlot> free_slots_;
+  std::vector<Waiter> waiters_;          // sorted by index, FIFO within ties
+  std::vector<QuerySlot> wake_scratch_;  // reused by wake_waiters
   std::map<TOIndex, std::size_t> active_snapshots_;  // snapshot -> live queries
 };
 

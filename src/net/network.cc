@@ -1,5 +1,6 @@
 #include "net/network.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/assert.h"
@@ -19,12 +20,30 @@ Network::Network(Simulator& sim, std::size_t n_sites, NetConfig config, Rng rng)
   OTPDB_CHECK(n_sites >= 1);
 }
 
+void Network::attach_engine(ShardedEngine& engine) {
+  OTPDB_CHECK_MSG(&engine.hub() == &sim_,
+                  "the network must be constructed on the engine's hub shard");
+  OTPDB_CHECK_MSG(engine.site_count() == site_count_, "engine/network site count mismatch");
+  sharded_ = true;
+  outbox_.resize(site_count_);
+  inbox_.resize(site_count_);
+  engine.attach_medium(this);
+}
+
 void Network::subscribe(SiteId site, Channel channel, Handler handler) {
   OTPDB_CHECK(site < site_count_);
   auto& per_site = handlers_[site];
   if (per_site.size() <= channel) per_site.resize(channel + 1);
   OTPDB_CHECK_MSG(!per_site[channel], "channel already subscribed at this site");
   per_site[channel] = std::move(handler);
+}
+
+SimTime Network::send_clock() const {
+  // Sharded mode: the sending shard's clock (a site shard during its phase,
+  // the hub during control events). Outside any phase - e.g. a test poking
+  // the network between runs - fall back to the hub clock.
+  const Simulator* active = active_shard();
+  return active ? active->now() : sim_.now();
 }
 
 SimTime Network::sample_receiver_delay() {
@@ -36,7 +55,7 @@ SimTime Network::sample_receiver_delay() {
   return delay;
 }
 
-void Network::deliver(SiteId to, Message msg, SimTime delay) {
+void Network::deliver(SiteId to, Message msg, SimTime fire_at) {
   std::uint32_t slot;
   if (!free_flight_slots_.empty()) {
     slot = free_flight_slots_.back();
@@ -47,7 +66,7 @@ void Network::deliver(SiteId to, Message msg, SimTime delay) {
   }
   in_flight_[slot].to = to;
   in_flight_[slot].msg = std::move(msg);
-  sim_.schedule_after(delay, [this, slot] { deliver_now(slot); });
+  sim_.schedule_at(fire_at, [this, slot] { deliver_now(slot); });
 }
 
 void Network::deliver_now(std::uint32_t slot) {
@@ -68,32 +87,97 @@ void Network::deliver_now(std::uint32_t slot) {
     arrival_logs_[to].push_back(msg.id);
   }
   ++delivered_;
+  if (sharded_) {
+    // Hand the handler invocation off to the receiver's shard; it fires at
+    // this same timestamp when the site phase of this window runs.
+    inbox_[to].push_back(Handoff{sim_.now(), std::move(msg)});
+    return;
+  }
+  dispatch(to, msg);
+}
+
+void Network::dispatch(SiteId to, const Message& msg) {
   const auto& per_site = handlers_[to];
   if (msg.channel < per_site.size() && per_site[msg.channel]) {
     per_site[msg.channel](msg);
   }
 }
 
-MsgId Network::multicast(SiteId from, Channel channel, PayloadPtr payload) {
-  OTPDB_CHECK(from < site_count_);
-  const MsgId id{from, next_seq_[from]++};
-  if (crashed_[from]) return id;  // a crashed site's sends vanish
+void Network::begin_site_window(SiteId32 site, Simulator& shard) {
+  auto& box = inbox_[site];
+  for (auto& handoff : box) {
+    shard.schedule_at(handoff.at, [this, site, msg = std::move(handoff.msg)] {
+      dispatch(site, msg);
+    });
+  }
+  box.clear();
+}
+
+void Network::flush_outboxes() {
+  flush_scratch_.clear();
+  for (auto& box : outbox_) {
+    for (auto& request : box) flush_scratch_.push_back(std::move(request));
+    box.clear();
+  }
+  // Canonical processing order: send time, then sender, then the sender's
+  // own sequence. Independent of which worker ran which shard, so the bus
+  // serialization and the rng stream (receiver delays, loss) are identical
+  // for every thread count.
+  std::sort(flush_scratch_.begin(), flush_scratch_.end(),
+            [](const SendRequest& a, const SendRequest& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.id.sender != b.id.sender) return a.id.sender < b.id.sender;
+              return a.id.seq < b.id.seq;
+            });
+  for (auto& request : flush_scratch_) process_send(request);
+  flush_scratch_.clear();
+}
+
+void Network::process_send(SendRequest& request) {
+  const SiteId from = request.id.sender;
+  if (crashed_[from]) return;  // a crashed site's sends vanish
+  // A unicast to a dead receiver never reaches the wire and must not occupy
+  // the bus (the pre-sharding model; multicasts still serialize one frame
+  // for the surviving receivers).
+  if (request.to != kEveryone && crashed_[request.to]) return;
 
   // The shared medium serializes frames: the frame reaches the wire when the
   // bus frees up, and every receiver's delay is measured from that point.
-  const SimTime wire_at = std::max(sim_.now(), bus_free_at_);
+  const SimTime wire_at = std::max(request.at, bus_free_at_);
   bus_free_at_ = wire_at + config_.serialization_time;
-  const SimTime on_wire = bus_free_at_ - sim_.now();
+  const SimTime on_wire = bus_free_at_ - request.at;
 
-  Message msg{id, from, channel, std::move(payload)};
-  for (SiteId to = 0; to < site_count_; ++to) {
-    if (crashed_[to]) continue;  // partitioned receivers are handled at delivery
+  if (request.to == kEveryone) {
+    Message msg{request.id, from, request.channel, std::move(request.payload)};
+    for (SiteId to = 0; to < site_count_; ++to) {
+      if (crashed_[to]) continue;  // partitioned receivers are handled at delivery
+      SimTime delay = on_wire + sample_receiver_delay();
+      // Loss + retransmission: each drop defers delivery by one timeout. The
+      // channel stays reliable (paper model) but late arrivals perturb order.
+      while (rng_.bernoulli(config_.loss_prob)) delay += config_.retransmit_timeout;
+      deliver(to, msg, request.at + delay);
+    }
+  } else {
     SimTime delay = on_wire + sample_receiver_delay();
-    // Loss + retransmission: each drop defers delivery by one timeout. The
-    // channel stays reliable (paper model) but late arrivals perturb order.
     while (rng_.bernoulli(config_.loss_prob)) delay += config_.retransmit_timeout;
-    deliver(to, msg, delay);
+    deliver(request.to, Message{request.id, from, request.channel, std::move(request.payload)},
+            request.at + delay);
   }
+}
+
+MsgId Network::multicast(SiteId from, Channel channel, PayloadPtr payload) {
+  OTPDB_CHECK(from < site_count_);
+  const MsgId id{from, next_seq_[from]++};
+  if (sharded_) {
+    // Buffered until the window barrier, where crash checks see the fault
+    // state as of the window END: fault transitions are quantized to window
+    // boundaries (<= lookahead, 150us under LAN defaults) relative to the
+    // classic loop. See the fault-model note in the header.
+    outbox_[from].push_back(SendRequest{send_clock(), id, kEveryone, channel, std::move(payload)});
+    return id;
+  }
+  SendRequest request{sim_.now(), id, kEveryone, channel, std::move(payload)};
+  process_send(request);
   return id;
 }
 
@@ -101,13 +185,12 @@ MsgId Network::unicast(SiteId from, SiteId to, Channel channel, PayloadPtr paylo
   OTPDB_CHECK(from < site_count_);
   OTPDB_CHECK(to < site_count_);
   const MsgId id{from, next_seq_[from]++};
-  if (crashed_[from] || crashed_[to]) return id;
-
-  const SimTime wire_at = std::max(sim_.now(), bus_free_at_);
-  bus_free_at_ = wire_at + config_.serialization_time;
-  SimTime delay = (bus_free_at_ - sim_.now()) + sample_receiver_delay();
-  while (rng_.bernoulli(config_.loss_prob)) delay += config_.retransmit_timeout;
-  deliver(to, Message{id, from, channel, std::move(payload)}, delay);
+  if (sharded_) {
+    outbox_[from].push_back(SendRequest{send_clock(), id, to, channel, std::move(payload)});
+    return id;
+  }
+  SendRequest request{sim_.now(), id, to, channel, std::move(payload)};
+  process_send(request);
   return id;
 }
 
@@ -133,7 +216,7 @@ void Network::heal_partition() {
   std::vector<std::pair<SiteId, Message>> held = std::move(held_);
   held_.clear();
   for (auto& [to, msg] : held) {
-    deliver(to, std::move(msg), config_.retransmit_timeout + sample_receiver_delay());
+    deliver(to, std::move(msg), sim_.now() + config_.retransmit_timeout + sample_receiver_delay());
   }
 }
 

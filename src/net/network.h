@@ -12,6 +12,27 @@
 // The model also supports per-receiver message loss (with transport-level
 // retransmission so channels stay reliable, as the paper assumes), site
 // crash/recovery, and network partitions, all deterministic under a seed.
+//
+// Two driving modes share all of the above:
+//  * Classic (default): one Simulator runs the whole cluster; sends are
+//    processed inline and deliveries invoke handlers directly.
+//  * Sharded (attach_engine): the network is the hub shard of a
+//    ShardedEngine. Sends from site shards are buffered in per-sender
+//    outboxes and flushed at window barriers in canonical (time, sender,
+//    seq) order; delivery events run on the hub (fault checks, arrival
+//    logs) and hand the handler invocation off to the receiver's shard via
+//    its inbox. Every delivery is delayed by at least lookahead() =
+//    serialization_time + base_delay, which is the conservative window the
+//    engine synchronizes on.
+//
+// Sharded-mode fault model: sends are crash-checked at the window barrier,
+// so a crash/recovery injected mid-window applies to every send of that
+// window (fault transitions quantize to window boundaries, at most
+// lookahead() away from their classic-mode effect). This is a deliberate,
+// deterministic divergence from the classic loop, on top of the same-
+// timestamp cross-shard tie-break difference documented in
+// sim/sharded_engine.h; histories remain bit-for-bit identical across
+// sharded thread counts.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +41,7 @@
 #include <vector>
 
 #include "net/message.h"
+#include "sim/sharded_engine.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 
@@ -52,14 +74,31 @@ struct NetConfig {
 /// the receiver's subscribed handler for the message's channel. Crashed sites
 /// neither send nor receive; partitioned site pairs do not exchange messages
 /// while the partition holds.
-class Network {
+class Network final : public SharedMedium {
  public:
   using Handler = std::function<void(const Message&)>;
 
+  /// `sim` is the cluster simulator in classic mode, the hub shard in
+  /// sharded mode.
   Network(Simulator& sim, std::size_t n_sites, NetConfig config, Rng rng);
 
   std::size_t site_count() const { return site_count_; }
   const NetConfig& config() const { return config_; }
+
+  /// Switches to sharded (mailbox) mode. The engine's hub must be the
+  /// Simulator this network was constructed with.
+  void attach_engine(ShardedEngine& engine);
+
+  // -- SharedMedium -----------------------------------------------------------
+
+  /// Conservative lookahead: every delivery is delayed by at least the bus
+  /// serialization time plus the propagation floor, so a window of this size
+  /// never needs a delivery from a send inside it.
+  SimTime lookahead() const override {
+    return config_.serialization_time + config_.base_delay;
+  }
+  void begin_site_window(SiteId32 site, Simulator& shard) override;
+  void flush_outboxes() override;
 
   /// Registers the handler invoked when `site` receives a message on `channel`.
   /// At most one handler per (site, channel).
@@ -73,6 +112,8 @@ class Network {
   MsgId unicast(SiteId from, SiteId to, Channel channel, PayloadPtr payload);
 
   /// Crash fault injection: a crashed site sends and receives nothing.
+  /// Sharded mode: call from the hub (a Cluster::sim() control event or
+  /// between runs), never from a site-shard event.
   void crash(SiteId site);
   void recover(SiteId site);
   bool crashed(SiteId site) const { return crashed_[site]; }
@@ -92,22 +133,44 @@ class Network {
   const std::vector<std::vector<MsgId>>& arrival_logs() const { return arrival_logs_; }
 
  private:
-  void deliver(SiteId to, Message msg, SimTime delay);
+  /// A send buffered by a site (or control) event, flushed at the next
+  /// window barrier. `to` is kEveryone for a multicast.
+  struct SendRequest {
+    SimTime at = 0;  // the sending shard's clock at the send
+    MsgId id;
+    SiteId to = 0;
+    Channel channel = 0;
+    PayloadPtr payload;
+  };
+  static constexpr SiteId kEveryone = static_cast<SiteId>(-1);
+
+  /// A delivery that survived the hub-side fault checks, awaiting handler
+  /// invocation on the receiver's shard.
+  struct Handoff {
+    SimTime at = 0;
+    Message msg;
+  };
+
+  void process_send(SendRequest& request);
+  void deliver(SiteId to, Message msg, SimTime fire_at);
   void deliver_now(std::uint32_t slot);
+  void dispatch(SiteId to, const Message& msg);
+  SimTime send_clock() const;
   SimTime sample_receiver_delay();
 
   // In-flight messages live in a recycled slab; the scheduled event captures
-  // only {this, slot}, which fits std::function's inline buffer - no heap
-  // allocation per delivery.
+  // only {this, slot}, which fits the simulator's inline action buffer - no
+  // heap allocation per delivery.
   struct PendingDelivery {
     SiteId to = 0;
     Message msg;
   };
 
-  Simulator& sim_;
+  Simulator& sim_;  // the hub shard in sharded mode
   std::size_t site_count_;
   NetConfig config_;
   Rng rng_;
+  bool sharded_ = false;
   std::vector<std::uint64_t> next_seq_;                 // per sender
   std::vector<std::vector<Handler>> handlers_;          // [site][channel]
   std::vector<bool> crashed_;
@@ -119,6 +182,15 @@ class Network {
   std::vector<std::pair<SiteId, Message>> held_;  // parked by an active partition
   std::optional<Channel> recorded_channel_;
   std::vector<std::vector<MsgId>> arrival_logs_;
+
+  // Sharded-mode mailboxes. outbox_[s] is written only by the shard running
+  // site s's events (or the hub during its phase) and drained at barriers;
+  // inbox_[s] is written by the hub phase and drained by site s's shard at
+  // the start of its phase. Phases never overlap, so no locks are needed -
+  // the engine's barrier provides the happens-before edges.
+  std::vector<std::vector<SendRequest>> outbox_;
+  std::vector<std::vector<Handoff>> inbox_;
+  std::vector<SendRequest> flush_scratch_;
 };
 
 }  // namespace otpdb

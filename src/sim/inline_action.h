@@ -1,0 +1,107 @@
+// Small-buffer callable for simulator events.
+//
+// Every scheduled event used to carry a std::function<void()>, whose inline
+// buffer (16-32 bytes depending on the library) silently spills captures to
+// the heap. On the event hot path that is one malloc/free per event, and a
+// change that grows a capture by one pointer can reintroduce the cost without
+// any visible diff. InlineAction stores the callable inline - always - and
+// turns an oversized capture into a compile error, so per-event heap
+// allocations cannot reappear unnoticed. tests/sim_test.cc pins the zero
+// allocation guarantee with a counting operator new; bench/micro_components
+// reports allocations per event as a counter.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+namespace otpdb {
+
+/// Move-only `void()` callable with inline-only storage (no heap fallback).
+/// Captures must fit kCapacity bytes and be nothrow-move-constructible; both
+/// are enforced at compile time.
+class InlineAction {
+ public:
+  /// Sized for the largest closure the codebase schedules today (the lazy
+  /// engine's query completion: two std::functions plus a timestamp, 80
+  /// bytes) with a little headroom. Grow deliberately - every slot in every
+  /// simulator pays for it.
+  static constexpr std::size_t kCapacity = 96;
+
+  InlineAction() = default;
+  InlineAction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineAction> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  InlineAction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    static_assert(sizeof(Fn) <= kCapacity,
+                  "event capture exceeds InlineAction::kCapacity - shrink the capture "
+                  "(capture pointers/indices, not values) or grow kCapacity deliberately");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned event captures are not supported");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "event captures must be nothrow-move-constructible (slot recycling "
+                  "moves them)");
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    invoke_ = [](void* p) { (*static_cast<Fn*>(p))(); };
+    if constexpr (std::is_trivially_copyable_v<Fn> && std::is_trivially_destructible_v<Fn>) {
+      relocate_ = nullptr;  // memcpy-movable: the common [this, index] closures
+      destroy_ = nullptr;
+    } else {
+      relocate_ = [](void* dst, void* src) {
+        Fn* from = static_cast<Fn*>(src);
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      };
+      destroy_ = [](void* p) { static_cast<Fn*>(p)->~Fn(); };
+    }
+  }
+
+  InlineAction(InlineAction&& other) noexcept { move_from(other); }
+  InlineAction& operator=(InlineAction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineAction& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+  InlineAction(const InlineAction&) = delete;
+  InlineAction& operator=(const InlineAction&) = delete;
+  ~InlineAction() { reset(); }
+
+  void operator()() { invoke_(buf_); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+  friend bool operator==(const InlineAction& a, std::nullptr_t) { return a.invoke_ == nullptr; }
+
+ private:
+  void reset() {
+    if (invoke_ && destroy_) destroy_(buf_);
+    invoke_ = nullptr;
+  }
+  void move_from(InlineAction& other) {
+    if (!other.invoke_) return;
+    if (other.relocate_) {
+      other.relocate_(buf_, other.buf_);
+    } else {
+      __builtin_memcpy(buf_, other.buf_, kCapacity);
+    }
+    invoke_ = other.invoke_;
+    relocate_ = other.relocate_;
+    destroy_ = other.destroy_;
+    other.invoke_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kCapacity];
+  void (*invoke_)(void*) = nullptr;
+  void (*relocate_)(void*, void*) = nullptr;  // move-construct dst from src, destroy src
+  void (*destroy_)(void*) = nullptr;
+};
+
+}  // namespace otpdb

@@ -1,0 +1,149 @@
+#include "sim/sharded_engine.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace otpdb {
+
+namespace {
+
+thread_local Simulator* tls_active_shard = nullptr;
+
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#endif
+}
+
+}  // namespace
+
+Simulator* active_shard() { return tls_active_shard; }
+void set_active_shard(Simulator* sim) { tls_active_shard = sim; }
+
+ShardedEngine::ShardedEngine(std::size_t n_sites, ParallelismConfig config) : config_(config) {
+  OTPDB_CHECK(n_sites >= 1);
+  sites_.reserve(n_sites);
+  for (std::size_t s = 0; s < n_sites; ++s) sites_.push_back(std::make_unique<Simulator>());
+  // More participants than sites would only spin; participant 0 is the
+  // coordinating thread, the rest are spawned workers.
+  n_workers_ = static_cast<unsigned>(
+      std::min<std::size_t>(std::max(1u, config.threads), n_sites));
+  threads_.reserve(n_workers_ - 1);
+  for (unsigned w = 1; w < n_workers_; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ShardedEngine::~ShardedEngine() {
+  stop_.store(true, std::memory_order_release);
+  epoch_.fetch_add(1, std::memory_order_release);  // wake spinners
+  epoch_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ShardedEngine::attach_medium(SharedMedium* medium) {
+  OTPDB_CHECK(medium != nullptr);
+  OTPDB_CHECK_MSG(medium_ == nullptr, "medium already attached");
+  medium_ = medium;
+  const SimTime lookahead = medium->lookahead();
+  OTPDB_CHECK_MSG(lookahead >= 1,
+                  "sharded engine needs a positive cross-shard lookahead "
+                  "(serialization_time + base_delay must be > 0)");
+  window_ = config_.window > 0 ? std::min(config_.window, lookahead) : lookahead;
+}
+
+void ShardedEngine::run_owned_sites(unsigned worker, SimTime end) {
+  for (std::size_t s = worker; s < sites_.size(); s += n_workers_) {
+    Simulator& shard = *sites_[s];
+    set_active_shard(&shard);
+    medium_->begin_site_window(static_cast<SiteId32>(s), shard);
+    shard.run_until(end);
+  }
+  set_active_shard(nullptr);
+}
+
+void ShardedEngine::worker_loop(unsigned worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    // Spin briefly (the coordinator releases the next phase microseconds
+    // later on a healthy multi-core host), then park on the futex: an
+    // oversubscribed or single-core host must not burn the very core the
+    // coordinator needs.
+    std::uint64_t cur;
+    int spins = 0;
+    while ((cur = epoch_.load(std::memory_order_acquire)) == seen) {
+      if (++spins < 256) {
+        cpu_pause();
+      } else {
+        epoch_.wait(seen, std::memory_order_acquire);
+      }
+    }
+    seen = cur;
+    if (stop_.load(std::memory_order_acquire)) return;
+    run_owned_sites(worker, window_end_);
+    arrived_.fetch_add(1, std::memory_order_release);
+    arrived_.notify_all();
+  }
+}
+
+void ShardedEngine::run_until(SimTime deadline) {
+  OTPDB_CHECK_MSG(medium_ != nullptr, "attach_medium before running the sharded engine");
+  // Sends issued while the engine is idle (setup code, test pokes between
+  // runs) sit in outboxes stamped with the hub clock of that moment. Flush
+  // them before the first window: otherwise the window-start jump below can
+  // leap past their delivery times and the barrier flush would schedule
+  // hub events in the past.
+  medium_->flush_outboxes();
+  for (;;) {
+    // After a barrier all pending work sits in shard queues, so the earliest
+    // event across shards bounds the next window start - idle stretches
+    // (quiesce phases) collapse into a single jump.
+    SimTime next = hub_.next_event_time();
+    for (auto& s : sites_) next = std::min(next, s->next_event_time());
+    const SimTime start = std::max(hub_.now(), next);
+    if (start > deadline) break;
+    const SimTime end = std::min(deadline, start + window_);
+
+    // 1. Hub phase: deliveries -> inboxes, plus control events.
+    set_active_shard(&hub_);
+    hub_.run_until(end);
+    set_active_shard(nullptr);
+
+    // 2. Site phase: shards run [start, end] concurrently, lock-free.
+    if (!threads_.empty()) {
+      window_end_ = end;
+      arrived_.store(0, std::memory_order_relaxed);
+      epoch_.fetch_add(1, std::memory_order_release);
+      epoch_.notify_all();
+      run_owned_sites(0, end);
+      unsigned arrived;
+      int spins = 0;
+      while ((arrived = arrived_.load(std::memory_order_acquire)) != n_workers_ - 1) {
+        if (++spins < 256) {
+          cpu_pause();
+        } else {
+          arrived_.wait(arrived, std::memory_order_acquire);
+        }
+      }
+    } else {
+      run_owned_sites(0, end);
+    }
+
+    // 3. Barrier: canonical flush of all buffered sends into future hub
+    // deliveries (the lookahead puts them strictly beyond `end`).
+    medium_->flush_outboxes();
+  }
+  // No shard has events at or before the deadline; advance every clock to it
+  // so the next run resumes from a common boundary.
+  hub_.run_until(deadline);
+  for (auto& s : sites_) s->run_until(deadline);
+}
+
+std::uint64_t ShardedEngine::executed() const {
+  std::uint64_t n = hub_.executed();
+  for (const auto& s : sites_) n += s->executed();
+  return n;
+}
+
+}  // namespace otpdb

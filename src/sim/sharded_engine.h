@@ -1,0 +1,147 @@
+// Site-sharded discrete-event engine with conservative lookahead.
+//
+// The classic driver runs an entire cluster through one Simulator queue, so
+// adding sites makes runs slower even though sites only interact through a
+// network whose every delivery is delayed by at least serialization_time +
+// base_delay. This engine exploits that floor as a conservative lookahead
+// window (Chandy/Misra/Bryant style): each site owns a private Simulator
+// (shard), the shared-medium network model owns another (the hub), and time
+// advances in windows no longer than the lookahead L.
+//
+// Per window [a, b), b <= a + L:
+//   1. Hub phase (one thread): the hub shard runs its events in [a, b] -
+//      message deliveries (fault checks, arrival logs) and control events
+//      (crash/partition injection, client submissions scheduled via
+//      Cluster::sim()). Each surviving delivery is handed off to the
+//      receiver's inbox, timestamped with its delivery time.
+//   2. Site phase (parallel): every site shard drains its inbox into its
+//      local queue and runs its events in [a, b] lock-free - no other thread
+//      touches the shard. Sends (multicast/unicast) are buffered in the
+//      sender's outbox, stamped (send time, sender, per-sender seq).
+//   3. Barrier: outboxes are flushed to the hub in canonical
+//      (time, sender, seq) order; the medium model samples delays and
+//      schedules the resulting deliveries as future hub events. The
+//      lookahead guarantees they land strictly beyond b, so step 1 of the
+//      next window already has every delivery it needs.
+//
+// Determinism: each shard fires its events in the local (timestamp,
+// schedule-order) rule of the plain Simulator, and every cross-shard
+// insertion happens at a barrier in a canonical order independent of the
+// worker count. Hence runs are bit-for-bit identical for any `threads`
+// value, including the degenerate single-threaded sharded run - the parity
+// suite (tests/parallel_parity_test.cc) asserts exactly that, under TSan.
+//
+// Note the global tie-break differs from the classic single-queue loop: two
+// events at the same timestamp on *different* shards no longer have a global
+// schedule order (that is precisely what buys the parallelism), so sharded
+// histories are deterministic but not bitwise equal to single-queue
+// histories. ClusterConfig keeps the classic loop as the threads=1 default.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace otpdb {
+
+using SiteId32 = std::uint32_t;  // mirrors net/message.h SiteId without the include
+
+/// Selects the cluster driver. threads == 1 (default) keeps the classic
+/// single-queue loop; threads >= 2 runs the sharded engine with that many
+/// worker threads. force_sharded runs the sharded engine even with one
+/// thread - bit-for-bit identical to every multi-threaded sharded run, and
+/// the sequential leg of the parity suite.
+struct ParallelismConfig {
+  unsigned threads = 1;
+  bool force_sharded = false;
+  /// Synchronization window; 0 = the medium's declared lookahead. Values
+  /// above the lookahead are clamped down (correctness), smaller values only
+  /// add barriers.
+  SimTime window = 0;
+
+  bool sharded() const { return threads > 1 || force_sharded; }
+};
+
+/// The hub-shard model (the network) as the engine sees it: it declares its
+/// lookahead and owns the cross-shard mailboxes.
+class SharedMedium {
+ public:
+  virtual ~SharedMedium() = default;
+
+  /// Lower bound on (delivery time - send time) for every cross-shard
+  /// message. Must be >= 1ns; the window size is clamped to it.
+  virtual SimTime lookahead() const = 0;
+
+  /// Site-phase entry: drain the site's inbox (handoffs produced by the hub
+  /// phase of the current window) into its shard queue. Runs on the shard's
+  /// worker thread.
+  virtual void begin_site_window(SiteId32 site, Simulator& shard) = 0;
+
+  /// Barrier: process every buffered send in canonical (time, sender, seq)
+  /// order and schedule the resulting deliveries as future hub events. Runs
+  /// on the coordinating thread.
+  virtual void flush_outboxes() = 0;
+};
+
+/// The Simulator currently running on this thread, or nullptr outside a
+/// shard phase. The network model reads it to timestamp sends with the
+/// sending shard's clock (control events run on the hub clock, site events
+/// on their site's clock).
+Simulator* active_shard();
+void set_active_shard(Simulator* sim);
+
+class ShardedEngine {
+ public:
+  ShardedEngine(std::size_t n_sites, ParallelismConfig config);
+  ~ShardedEngine();
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// Must be called once before run_until; fixes the window size from the
+  /// medium's lookahead.
+  void attach_medium(SharedMedium* medium);
+
+  Simulator& hub() { return hub_; }
+  Simulator& site(SiteId32 s) { return *sites_[s]; }
+  std::size_t site_count() const { return sites_.size(); }
+
+  /// Hub time == the last window boundary reached (all shards agree on it
+  /// between runs).
+  SimTime now() const { return hub_.now(); }
+
+  /// Runs all shards through windows until every event with time <= deadline
+  /// (on any shard) has fired; afterwards every shard's clock is deadline.
+  void run_until(SimTime deadline);
+
+  /// Total events executed across all shards (bench counters).
+  std::uint64_t executed() const;
+
+  SimTime window() const { return window_; }
+  unsigned worker_count() const { return n_workers_; }
+
+ private:
+  void worker_loop(unsigned worker);
+  void run_owned_sites(unsigned worker, SimTime end);
+
+  Simulator hub_;
+  std::vector<std::unique_ptr<Simulator>> sites_;
+  SharedMedium* medium_ = nullptr;
+  SimTime window_ = 0;
+  ParallelismConfig config_;
+
+  // Workers are participants 1..n_workers_-1; the coordinating thread is
+  // participant 0 and runs its share of sites between releasing the workers
+  // and waiting for them. Sites are owned round-robin by participant index.
+  unsigned n_workers_ = 1;
+  std::vector<std::thread> threads_;
+  std::atomic<std::uint64_t> epoch_{0};   // bumped to release a site phase
+  std::atomic<unsigned> arrived_{0};      // workers done with the current phase
+  std::atomic<bool> stop_{false};
+  SimTime window_end_ = 0;  // published before the epoch bump (release order)
+};
+
+}  // namespace otpdb

@@ -122,7 +122,7 @@ void load_initial_state(Cluster& cluster, const Layout& layout) {
 }
 
 TpccDriver::TpccDriver(Cluster& cluster, Layout layout, MixConfig config, std::uint64_t seed)
-    : cluster_(cluster), layout_(layout), config_(config) {
+    : cluster_(cluster), layout_(layout), config_(config), site_stats_(cluster.site_count()) {
   Rng master(seed);
   for (std::size_t s = 0; s < cluster.site_count(); ++s) site_rngs_.push_back(master.split());
 }
@@ -136,12 +136,21 @@ void TpccDriver::start() {
   for (SiteId s = 0; s < cluster_.site_count(); ++s) schedule_next(s, horizon);
 }
 
+MixStats TpccDriver::stats() const {
+  MixStats merged;
+  for (const MixStats& s : site_stats_) merged += s;
+  return merged;
+}
+
 void TpccDriver::schedule_next(SiteId site, SimTime horizon) {
+  // On the site's own shard: the submission event mutates only site-local
+  // state (replica, rng, per-site stats), so shards stay independent.
+  Simulator& sim = cluster_.site_sim(site);
   const double gap_ns = static_cast<double>(kSecond) / config_.txn_per_second_per_site;
-  const SimTime at = cluster_.sim().now() +
+  const SimTime at = sim.now() +
                      static_cast<SimTime>(site_rngs_[site].exponential(gap_ns));
   if (at > horizon) return;
-  cluster_.sim().schedule_at(at, [this, site, horizon] {
+  sim.schedule_at(at, [this, site, horizon] {
     submit_one(site);
     schedule_next(site, horizon);
   });
@@ -149,6 +158,7 @@ void TpccDriver::schedule_next(SiteId site, SimTime horizon) {
 
 void TpccDriver::submit_one(SiteId site) {
   Rng& rng = site_rngs_[site];
+  MixStats& stats = site_stats_[site];
   const auto& catalog = cluster_.catalog();
   const auto warehouse = static_cast<ClassId>(
       rng.zipf(static_cast<std::uint64_t>(catalog.class_count()),
@@ -184,9 +194,9 @@ void TpccDriver::submit_one(SiteId site) {
       args.ints.push_back(rng.uniform_int(0, static_cast<std::int64_t>(layout_.n_items) - 1));
       args.ints.push_back(rng.uniform_int(1, 5));  // quantity
     }
-    ++stats_.new_orders;
+    ++stats.new_orders;
     if (remote) {
-      ++stats_.remote_new_orders;
+      ++stats.remote_new_orders;
       cluster_.replica(site).submit_update_multi(procs_.new_order_remote,
                                                  {warehouse, supply}, std::move(args), exec);
     } else {
@@ -197,13 +207,13 @@ void TpccDriver::submit_one(SiteId site) {
     const std::int64_t amount = rng.uniform_int(1, 100);
     const std::int64_t customer =
         rng.uniform_int(0, static_cast<std::int64_t>(layout_.n_customers) - 1);
-    ++stats_.payments;
-    stats_.payment_volume += amount;
+    ++stats.payments;
+    stats.payment_volume += amount;
     if (remote) {
       const ClassId customer_w = pick_remote_warehouse();
       args.ints = {static_cast<std::int64_t>(warehouse),
                    static_cast<std::int64_t>(customer_w), customer, amount};
-      ++stats_.remote_payments;
+      ++stats.remote_payments;
       cluster_.replica(site).submit_update_multi(procs_.payment_remote,
                                                  {warehouse, customer_w}, std::move(args),
                                                  exec);
@@ -214,14 +224,14 @@ void TpccDriver::submit_one(SiteId site) {
   } else if (dice < del_w) {
     TxnArgs args;
     args.ints = {rng.uniform_int(0, static_cast<std::int64_t>(layout_.n_districts) - 1)};
-    ++stats_.deliveries;
+    ++stats.deliveries;
     cluster_.replica(site).submit_update(procs_.delivery, warehouse, std::move(args), exec);
   } else {
     // StockLevel: snapshot query counting low-stock items of one warehouse.
     const Layout layout = layout_;
     const SimTime query_exec = static_cast<SimTime>(
         rng.exponential(static_cast<double>(config_.mean_query_exec_time)));
-    ++stats_.stock_level_queries;
+    ++stats.stock_level_queries;
     cluster_.replica(site).submit_query(
         [&catalog, layout, warehouse](QueryContext& ctx) {
           int low = 0;
@@ -246,7 +256,8 @@ std::vector<std::string> TpccDriver::audit(SiteId site) {
   // remote transactions money conservation only holds summed over all
   // warehouses; an all-local mix must balance per warehouse (the stricter
   // original audit).
-  const bool per_warehouse_money = stats_.remote_new_orders + stats_.remote_payments == 0;
+  const MixStats merged = stats();
+  const bool per_warehouse_money = merged.remote_new_orders + merged.remote_payments == 0;
   std::int64_t global_sold = 0, global_balances = 0, global_ytd = 0;
   for (ClassId w = 0; w < catalog.class_count(); ++w) {
     auto value_of = [&](std::uint64_t offset) {

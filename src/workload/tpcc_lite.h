@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/cluster.h"
 #include "db/partition.h"
@@ -97,6 +98,19 @@ struct MixStats {
   std::uint64_t remote_new_orders = 0;  ///< cross-warehouse NewOrders (subset of new_orders)
   std::uint64_t remote_payments = 0;    ///< cross-warehouse Payments (subset of payments)
   std::int64_t payment_volume = 0;  ///< total amount across submitted payments
+
+  /// Merge (for per-site -> cluster aggregation). Extend together with the
+  /// fields above, or merged stats silently drop the new counter.
+  MixStats& operator+=(const MixStats& o) {
+    new_orders += o.new_orders;
+    payments += o.payments;
+    deliveries += o.deliveries;
+    stock_level_queries += o.stock_level_queries;
+    remote_new_orders += o.remote_new_orders;
+    remote_payments += o.remote_payments;
+    payment_volume += o.payment_volume;
+    return *this;
+  }
 };
 
 /// Drives the TPC-C-lite mix against a cluster (any engine).
@@ -104,10 +118,13 @@ class TpccDriver {
  public:
   TpccDriver(Cluster& cluster, Layout layout, MixConfig config, std::uint64_t seed);
 
-  /// Registers procedures, loads initial state, schedules the client streams.
+  /// Registers procedures, loads initial state, schedules the client
+  /// streams - each site's stream on its own shard (Cluster::site_sim), so
+  /// generation parallelizes with the sharded engine.
   void start();
 
-  const MixStats& stats() const { return stats_; }
+  /// Merged counters across the per-site client streams.
+  MixStats stats() const;
   const Procedures& procedures() const { return procs_; }
   const Layout& layout() const { return layout_; }
 
@@ -124,7 +141,7 @@ class TpccDriver {
   MixConfig config_;
   std::vector<Rng> site_rngs_;
   Procedures procs_;
-  MixStats stats_;
+  std::vector<MixStats> site_stats_;  // shard-confined, merged by stats()
   bool started_ = false;
 };
 

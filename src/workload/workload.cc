@@ -33,7 +33,11 @@ ProcId register_rmw_cross_procedure(ProcedureRegistry& registry) {
 }
 
 WorkloadDriver::WorkloadDriver(Cluster& cluster, WorkloadConfig config, std::uint64_t seed)
-    : cluster_(cluster), config_(config) {
+    : cluster_(cluster),
+      config_(config),
+      updates_submitted_(cluster.site_count(), 0),
+      cross_class_submitted_(cluster.site_count(), 0),
+      queries_submitted_(cluster.site_count(), 0) {
   Rng master(seed);
   site_rngs_.reserve(cluster.site_count());
   for (std::size_t s = 0; s < cluster.site_count(); ++s) site_rngs_.push_back(master.split());
@@ -56,9 +60,12 @@ SimTime WorkloadDriver::next_gap(Rng& rng) const {
 }
 
 void WorkloadDriver::schedule_next(SiteId site, SimTime horizon) {
-  const SimTime at = cluster_.sim().now() + next_gap(site_rngs_[site]);
+  // On the site's own shard: the submission event mutates only site-local
+  // state (replica, rng, counters), so shards stay independent.
+  Simulator& sim = cluster_.site_sim(site);
+  const SimTime at = sim.now() + next_gap(site_rngs_[site]);
   if (at > horizon) return;  // submission window closed for this site
-  cluster_.sim().schedule_at(at, [this, site, horizon] {
+  sim.schedule_at(at, [this, site, horizon] {
     submit_one(site);
     schedule_next(site, horizon);
   });
@@ -85,7 +92,7 @@ void WorkloadDriver::submit_one(SiteId site) {
                              ? static_cast<SimTime>(rng.exponential(
                                    static_cast<double>(config_.mean_query_exec_time)))
                              : config_.mean_query_exec_time;
-    ++queries_submitted_;
+    ++queries_submitted_[site];
     cluster_.replica(site).submit_query(
         [objects = std::move(objects)](QueryContext& ctx) {
           std::int64_t sum = 0;
@@ -116,7 +123,7 @@ void WorkloadDriver::submit_one(SiteId site) {
       config_.exponential_exec
           ? static_cast<SimTime>(rng.exponential(static_cast<double>(config_.mean_exec_time)))
           : config_.mean_exec_time;
-  ++updates_submitted_;
+  ++updates_submitted_[site];
   cluster_.replica(site).submit_update(rmw_proc_, klass, std::move(args), exec);
 }
 
@@ -146,8 +153,8 @@ void WorkloadDriver::submit_cross_class(SiteId site, Rng& rng) {
       config_.exponential_exec
           ? static_cast<SimTime>(rng.exponential(static_cast<double>(config_.mean_exec_time)))
           : config_.mean_exec_time;
-  ++updates_submitted_;
-  ++cross_class_submitted_;
+  ++updates_submitted_[site];
+  ++cross_class_submitted_[site];
   cluster_.replica(site).submit_update_multi(rmw_cross_proc_, std::move(classes),
                                              std::move(args), exec);
 }

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "core/cluster.h"
 #include "sim/simulator.h"
@@ -70,12 +71,15 @@ class WorkloadDriver {
   WorkloadDriver(Cluster& cluster, WorkloadConfig config, std::uint64_t seed);
 
   /// Registers the rmw procedure, loads initial object values (0) lazily via
-  /// store defaults, and schedules the per-site submission streams.
+  /// store defaults, and schedules the per-site submission streams. Each
+  /// site's stream runs on its own shard (Cluster::site_sim), so generation
+  /// parallelizes with the sharded engine; all per-site state (rng, counters)
+  /// is shard-confined.
   void start();
 
-  std::uint64_t updates_submitted() const { return updates_submitted_; }
-  std::uint64_t cross_class_submitted() const { return cross_class_submitted_; }
-  std::uint64_t queries_submitted() const { return queries_submitted_; }
+  std::uint64_t updates_submitted() const { return sum(updates_submitted_); }
+  std::uint64_t cross_class_submitted() const { return sum(cross_class_submitted_); }
+  std::uint64_t queries_submitted() const { return sum(queries_submitted_); }
   ProcId rmw_proc() const { return rmw_proc_; }
   ProcId rmw_cross_proc() const { return rmw_cross_proc_; }
 
@@ -84,15 +88,20 @@ class WorkloadDriver {
   void submit_one(SiteId site);
   void submit_cross_class(SiteId site, Rng& rng);
   SimTime next_gap(Rng& rng) const;
+  static std::uint64_t sum(const std::vector<std::uint64_t>& per_site) {
+    std::uint64_t n = 0;
+    for (std::uint64_t v : per_site) n += v;
+    return n;
+  }
 
   Cluster& cluster_;
   WorkloadConfig config_;
   std::vector<Rng> site_rngs_;
   ProcId rmw_proc_ = 0;
   ProcId rmw_cross_proc_ = 0;
-  std::uint64_t updates_submitted_ = 0;
-  std::uint64_t cross_class_submitted_ = 0;
-  std::uint64_t queries_submitted_ = 0;
+  std::vector<std::uint64_t> updates_submitted_;      // per site
+  std::vector<std::uint64_t> cross_class_submitted_;  // per site
+  std::vector<std::uint64_t> queries_submitted_;      // per site
   bool started_ = false;
 };
 

@@ -40,8 +40,9 @@ int usage() {
                "              --cross-frac=F --cross-span=N (multi-class updates;\n"
                "              otp/conservative engines)\n"
                "              --abcast=opt|sequencer --seed=N --crash-site=S --crash-ms=T\n"
+               "              --threads=N (1 = classic loop, >=2 = sharded parallel driver)\n"
                "  tpcc:       --warehouses=N --sites=N --rate=TXN/S/SITE --seconds=S\n"
-               "              --skew=THETA --remote-frac=F --seed=N\n"
+               "              --skew=THETA --remote-frac=F --seed=N --threads=N\n"
                "  spontorder: --interval-ms=MS --messages=N --sites=N --seed=N\n");
   return 2;
 }
@@ -120,6 +121,8 @@ int cmd_run(const Flags& flags) {
   config.net.hiccup_prob = flags.get_double("hiccup", config.net.hiccup_prob);
   config.abcast =
       flags.get("abcast", "opt") == "sequencer" ? AbcastKind::sequencer : AbcastKind::optimistic;
+  // 1 = classic single-queue loop; >=2 = site-sharded engine on real cores.
+  config.parallel.threads = static_cast<unsigned>(flags.get_int("threads", 1));
 
   ReplicaFactory factory = make_factory(engine);
   auto cluster = factory ? std::make_unique<Cluster>(config, std::move(factory))
@@ -181,6 +184,7 @@ int cmd_tpcc(const Flags& flags) {
   tpcc::Layout layout;
   config.objects_per_class = layout.objects_per_warehouse();
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  config.parallel.threads = static_cast<unsigned>(flags.get_int("threads", 1));
   Cluster cluster(config);
 
   tpcc::MixConfig mix;

@@ -24,13 +24,16 @@ Usage:
 
 import argparse
 import json
+import os
 import platform
+import re
 import subprocess
 import sys
 import time
 from pathlib import Path
 
-DEFAULT_BENCHES = ["micro_components", "otp_vs_lazy", "tpcc_mix", "cross_class"]
+DEFAULT_BENCHES = ["micro_components", "otp_vs_lazy", "tpcc_mix", "cross_class",
+                   "scalability"]
 
 # Counters worth keeping in the trajectory (throughput/latency/consistency).
 KEEP_COUNTERS = (
@@ -45,7 +48,17 @@ KEEP_COUNTERS = (
     "cross_pct",
     "remote_pct",
     "serializable",
+    "threads",
+    "sites",
+    "allocs_per_event",
+    "sim_events",
 )
+
+# Benchmark names encode the parallel-driver sweep as a "threads:N" segment
+# (google-benchmark ArgNames). N=1 is the classic single-queue loop and the
+# speedup baseline; N=0 is the sharded engine with one worker (windowing
+# overhead only); N>=2 are real worker counts.
+THREADS_SEGMENT = re.compile(r"/threads:(\d+)")
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -104,6 +117,45 @@ def run_bench(build_dir: Path, name: str, repetitions: int) -> dict:
     }
 
 
+def parallel_speedups(benches: dict) -> dict:
+    """Serial-vs-parallel table: for every benchmark family swept over a
+    threads:N axis, wall-clock speedup of each N against the classic-loop
+    baseline (threads:1). Values < 1 mean the parallel driver was slower
+    (expected when the host has fewer free cores than workers)."""
+    table = {}
+    for bench_name, bench in benches.items():
+        families = {}
+        for b in bench.get("benchmarks", []):
+            match = THREADS_SEGMENT.search(b["name"])
+            if not match:
+                continue
+            family = THREADS_SEGMENT.sub("", b["name"])
+            families.setdefault(family, {})[int(match.group(1))] = to_ms(
+                b["real_time"], b["time_unit"])
+        for family, rows in families.items():
+            base = rows.get(1)
+            if base is None or base <= 0:
+                continue
+            table[f"{bench_name}:{family}"] = {
+                "serial_ms": round(base, 3),
+                "speedup_by_threads": {
+                    str(n): round(base / ms, 3)
+                    for n, ms in sorted(rows.items()) if n != 1 and ms > 0
+                },
+            }
+    return table
+
+
+def print_speedup_table(table: dict):
+    if not table:
+        return
+    print("  serial-vs-parallel (wall-clock, threads:1 classic loop = 1.0;"
+          " threads:0 = sharded single worker):")
+    for family, row in table.items():
+        cells = ", ".join(f"x{n}={s}" for n, s in row["speedup_by_threads"].items())
+        print(f"    {family}: serial {row['serial_ms']}ms; {cells}")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build-bench")
@@ -120,16 +172,20 @@ def main() -> int:
         build(build_dir)
 
     result = {
-        "schema": "otpdb-bench-v1",
+        "schema": "otpdb-bench-v2",  # v2: threads axis + parallel_speedup table
         "host": {
             "platform": platform.platform(),
             "machine": platform.machine(),
             "python": platform.python_version(),
+            # Parallel-driver rows are meaningless without knowing how many
+            # cores the recording host could actually run workers on.
+            "cpus": os.cpu_count(),
         },
         "benches": {},
     }
     for name in args.bench or DEFAULT_BENCHES:
         result["benches"][name] = run_bench(build_dir, name, args.repetitions)
+    result["parallel_speedup"] = parallel_speedups(result["benches"])
 
     if args.compare:
         old = json.loads(Path(args.compare).read_text())
@@ -139,8 +195,23 @@ def main() -> int:
             old_bench = old.get("benches", {}).get(name)
             if not old_bench or "fixed_work_ms" not in old_bench or new.get("skipped"):
                 continue
-            if new["fixed_work_ms"] > 0:
-                speedups[name] = round(old_bench["fixed_work_ms"] / new["fixed_work_ms"], 3)
+            # Compare over the intersection of benchmark rows only: a binary
+            # that grew new benchmarks (e.g. a threads sweep) must not read
+            # as a regression of its pre-existing rows. Aggregate rows
+            # ("..._mean" under --repetitions) match their plain-named
+            # counterparts.
+            def base_name(name: str) -> str:
+                return name[:-5] if name.endswith("_mean") else name
+            old_rows = {base_name(b["name"]): b for b in old_bench.get("benchmarks", [])}
+            old_ms = new_ms = 0.0
+            for b in new.get("benchmarks", []):
+                old_row = old_rows.get(base_name(b["name"]))
+                if old_row is None:
+                    continue
+                old_ms += to_ms(old_row["real_time"], old_row["time_unit"])
+                new_ms += to_ms(b["real_time"], b["time_unit"])
+            if new_ms > 0:
+                speedups[name] = round(old_ms / new_ms, 3)
         result["speedup_fixed_work"] = speedups
 
     out_path = REPO_ROOT / args.out
@@ -152,6 +223,7 @@ def main() -> int:
         print(f"  {name}: wall {bench['wall_clock_s']}s, fixed-work {bench['fixed_work_ms']}ms")
     if "speedup_fixed_work" in result:
         print("  speedups vs", args.compare, result["speedup_fixed_work"])
+    print_speedup_table(result["parallel_speedup"])
     return 0
 
 
