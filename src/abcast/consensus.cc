@@ -48,7 +48,7 @@ bool ConsensusHost::decided(std::uint64_t inst) const {
 
 void ConsensusHost::crash_reset() {
   for (auto& [inst, in] : instances_) {
-    if (in.timer_armed) sim_.cancel(in.round_timer);
+    if (in.timer_armed) wheel_.cancel(in.round_timer);
   }
   instances_.clear();
 }
@@ -201,7 +201,7 @@ void ConsensusHost::decide(std::uint64_t inst, const Value& value, bool fast, bo
   in.decided = true;
   in.decision = value;
   if (in.timer_armed) {
-    sim_.cancel(in.round_timer);
+    wheel_.cancel(in.round_timer);
     in.timer_armed = false;
   }
   ++stats_.instances_decided;
@@ -221,15 +221,15 @@ void ConsensusHost::decide(std::uint64_t inst, const Value& value, bool fast, bo
 void ConsensusHost::arm_round_timer(std::uint64_t inst) {
   Instance& in = instance(inst);
   if (in.decided) return;
-  if (in.timer_armed) sim_.cancel(in.round_timer);
+  if (in.timer_armed) wheel_.cancel(in.round_timer);
   double timeout = static_cast<double>(config_.round_timeout);
   for (std::uint64_t k = 0; k < in.round && timeout < static_cast<double>(config_.max_round_timeout);
        ++k) {
     timeout *= config_.backoff;
   }
   timeout = std::min(timeout, static_cast<double>(config_.max_round_timeout));
-  in.round_timer = sim_.schedule_after(static_cast<SimTime>(timeout),
-                                       [this, inst] { advance_round(inst); });
+  in.round_timer = wheel_.schedule_after(static_cast<SimTime>(timeout),
+                                         [this, inst] { advance_round(inst); });
   in.timer_armed = true;
 }
 

@@ -40,6 +40,7 @@
 #include "abcast/failure_detector.h"
 #include "net/network.h"
 #include "sim/simulator.h"
+#include "sim/timer_wheel.h"
 #include "util/types.h"
 
 namespace otpdb {
@@ -98,7 +99,7 @@ class ConsensusHost {
     std::map<std::uint64_t, std::set<SiteId>> acks;
     std::map<std::uint64_t, Value> coord_value;  // what this site proposed as coordinator
     bool coord_proposed_round0 = false;
-    EventId round_timer{};
+    TimerWheel::TimerId round_timer{};
     bool timer_armed = false;
     Value decision;
   };
@@ -126,6 +127,11 @@ class ConsensusHost {
   FailureDetector& fd_;
   SiteId self_;
   ConsensusConfig config_;
+  /// Round timers are the canonical cancel-heavy timer population (armed per
+  /// undecided instance, cancelled on decide), so they live on a wheel: O(1)
+  /// arm/cancel and a single pending simulator event however many instances
+  /// are in flight.
+  TimerWheel wheel_{sim_};
   std::unordered_map<std::uint64_t, Instance> instances_;  // node-based: refs stable
   DecideFn on_decide_;
   ConsensusStats stats_;

@@ -211,7 +211,7 @@ void OptAbcast::crash_reset() {
   next_index_ = 1;
   stage_timer_armed_ = false;  // any armed timer re-checks state when it fires
   decision_log_.clear();
-  if (body_request_outstanding_) sim_.cancel(body_retry_timer_);
+  if (body_request_outstanding_) wheel_.cancel(body_retry_timer_);
   body_request_outstanding_ = false;
   body_request_attempts_ = 0;
   recovering_ = false;
@@ -252,7 +252,7 @@ void OptAbcast::request_missing_bodies() {
   net_.unicast(self_, peer, kChannelRecovery, std::move(request));
   // Retry against the next peer if this one does not answer (crashed, or the
   // reply was lost); a received response cancels the timer.
-  body_retry_timer_ = sim_.schedule_after(50 * kMillisecond, [this] {
+  body_retry_timer_ = wheel_.schedule_after(50 * kMillisecond, [this] {
     body_request_outstanding_ = false;
     ++body_request_attempts_;
     drain_decided();
@@ -327,7 +327,7 @@ void OptAbcast::on_recovery_message(const Message& msg) {
     }
     case RecoveryKind::body_response: {
       if (body_request_outstanding_) {
-        sim_.cancel(body_retry_timer_);
+        wheel_.cancel(body_retry_timer_);
         body_request_outstanding_ = false;
         body_request_attempts_ = 0;
       }

@@ -39,6 +39,7 @@
 #include "abcast/abcast.h"
 #include "abcast/consensus.h"
 #include "net/network.h"
+#include "sim/timer_wheel.h"
 #include "sim/simulator.h"
 
 namespace otpdb {
@@ -124,6 +125,7 @@ class OptAbcast final : public AtomicBroadcast {
   Network& net_;
   SiteId self_;
   OptAbcastConfig config_;
+  TimerWheel wheel_{sim_};  // retransmission timers (body_retry_timer_)
   ConsensusHost consensus_;
   AbcastCallbacks callbacks_;
 
@@ -143,7 +145,9 @@ class OptAbcast final : public AtomicBroadcast {
   std::map<std::uint64_t, std::vector<MsgId>> decision_log_;     // stage -> decided sequence
   bool recovering_ = false;
   bool body_request_outstanding_ = false;
-  EventId body_retry_timer_{};
+  /// Retransmission timer on wheel_ (cancelled by the body_response in the
+  /// common case - exactly the cancel-heavy shape the wheel exists for).
+  TimerWheel::TimerId body_retry_timer_{};
   std::uint32_t body_request_attempts_ = 0;  // rotates the peer asked
   std::uint64_t catch_up_round_ = 0;
 };

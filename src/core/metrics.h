@@ -14,6 +14,7 @@ struct ReplicaMetrics {
   std::uint64_t aborts = 0;             ///< CC8 undo events (wrongly ordered head)
   std::uint64_t reexecutions = 0;       ///< submissions beyond a txn's first
   std::uint64_t mismatch_reorders = 0;  ///< CC10 moved a transaction (conflicting mismatch)
+  std::uint64_t ticket_timeouts = 0;    ///< liveness watchdog firings (OtpReplicaConfig)
 
   /// Client-visible commit latency at the origin site (submit -> local commit).
   OnlineStats commit_latency_ns;

@@ -76,6 +76,7 @@ void OtpReplica::on_opt_deliver(const Message& msg) {
   // acquire() checks against duplicate Opt-delivery.
   TxnRecord* txn = txns_.acquire(msg.id, std::move(request));
   txn->opt_delivered_at = sim_.now();
+  arm_ticket_watchdog(txn);
   serialization_module(txn);
 }
 
@@ -161,6 +162,7 @@ void OtpReplica::to_deliver_one(TxnRecord* txn) {
     for (ClassId c : classes) {
       if (TxnRecord* next = queues_[c].head()) try_execute(next);
     }
+    cancel_ticket_watchdog(txn);
     txns_.retire(txn);
     return;
   }
@@ -173,6 +175,7 @@ void OtpReplica::crash_recover_reset() {
   txns_.for_each_live([this](TxnRecord* txn) {
     if (txn->running) sim_.cancel(txn->completion);
   });
+  for (const auto& timer : ticket_timers_) wheel_.cancel(timer);  // stale ids no-op
   txns_.clear();
   for (std::size_t c = 0; c < queues_.size(); ++c) {
     queues_[c] = ClassQueue(static_cast<ClassId>(c));
@@ -326,7 +329,25 @@ void OtpReplica::commit(TxnRecord* txn) {
   for (ClassId c : classes) queries_.note_committed(c, committed_index, /*wake=*/false);
   queries_.wake_waiters(committed_index);
   if (config_.paranoid_checks) check_invariants(txn);
+  cancel_ticket_watchdog(txn);
   txns_.retire(txn);  // txn's slot is reusable beyond this point
+}
+
+void OtpReplica::arm_ticket_watchdog(const TxnRecord* txn) {
+  if (config_.ticket_timeout <= 0) return;
+  if (ticket_timers_.size() <= txn->tid) ticket_timers_.resize(txn->tid + 1);
+  const TxnId tid = txn->tid;
+  ticket_timers_[tid] = wheel_.schedule_after(config_.ticket_timeout, [this, tid] {
+    // Detection only: the ticket (queue position) is fixed by the definitive
+    // order, so a stall is surfaced, never "resolved" by aborting.
+    ++metrics_.ticket_timeouts;
+    OTPDB_DEBUG("otp") << "site " << self_ << " ticket timeout for txn slot " << tid;
+  });
+}
+
+void OtpReplica::cancel_ticket_watchdog(const TxnRecord* txn) {
+  if (config_.ticket_timeout <= 0) return;
+  if (txn->tid < ticket_timers_.size()) wheel_.cancel(ticket_timers_[txn->tid]);
 }
 
 void OtpReplica::check_invariants(const TxnRecord* txn) const {

@@ -11,13 +11,28 @@ Network::Network(Simulator& sim, std::size_t n_sites, NetConfig config, Rng rng)
     : sim_(sim),
       site_count_(n_sites),
       config_(config),
+      topo_(build_topology(config.topology, n_sites,
+                           EdgeParams{config.base_delay, config.noise_max, config.hiccup_prob,
+                                      config.hiccup_mean})),
+      flat_edge_{config.base_delay, config.noise_max, config.hiccup_prob, config.hiccup_mean},
+      switched_(topo_.switched),
       rng_(rng),
       next_seq_(n_sites, 0),
       handlers_(n_sites),
       crashed_(n_sites, false),
       partition_group_(n_sites, 0),
+      delivered_by_(n_sites, 0),
+      held_by_(n_sites),
       arrival_logs_(n_sites) {
   OTPDB_CHECK(n_sites >= 1);
+  if (switched_) {
+    link_free_at_.assign(n_sites, 0);
+    // One rng stream per (from, to) edge, split off in row-major order at
+    // construction. Shared-bus profiles never split, so the flat/lan rng_
+    // stream is untouched and bit-identical to the pre-topology code.
+    edge_rngs_.reserve(n_sites * n_sites);
+    for (std::size_t e = 0; e < n_sites * n_sites; ++e) edge_rngs_.push_back(rng_.split());
+  }
 }
 
 void Network::attach_engine(ShardedEngine& engine) {
@@ -25,9 +40,30 @@ void Network::attach_engine(ShardedEngine& engine) {
                   "the network must be constructed on the engine's hub shard");
   OTPDB_CHECK_MSG(engine.site_count() == site_count_, "engine/network site count mismatch");
   sharded_ = true;
-  outbox_.resize(site_count_);
-  inbox_.resize(site_count_);
+  engine_ = &engine;
+  if (switched_) {
+    staged_.resize(site_count_ * site_count_);
+  } else {
+    outbox_.resize(site_count_);
+    inbox_.resize(site_count_);
+  }
   engine.attach_medium(this);
+}
+
+SimTime Network::lookahead() const {
+  if (topo_.flat()) return config_.serialization_time + config_.base_delay;
+  SimTime min_la = kSimTimeMax;
+  for (std::size_t from = 0; from < site_count_; ++from) {
+    for (std::size_t to = 0; to < site_count_; ++to) {
+      if (from == to && site_count_ > 1) continue;
+      min_la = std::min(min_la, config_.serialization_time + topo_.edge(from, to).base_delay);
+    }
+  }
+  return min_la;
+}
+
+SimTime Network::lookahead(SiteId32 from, SiteId32 to) const {
+  return config_.serialization_time + edge_params(from, to).base_delay;
 }
 
 void Network::subscribe(SiteId site, Channel channel, Handler handler) {
@@ -46,11 +82,11 @@ SimTime Network::send_clock() const {
   return active ? active->now() : sim_.now();
 }
 
-SimTime Network::sample_receiver_delay() {
-  SimTime delay = config_.base_delay +
-                  static_cast<SimTime>(rng_.uniform_double(0.0, static_cast<double>(config_.noise_max)));
-  if (rng_.bernoulli(config_.hiccup_prob)) {
-    delay += static_cast<SimTime>(rng_.exponential(static_cast<double>(config_.hiccup_mean)));
+SimTime Network::sample_receiver_delay(Rng& rng, const EdgeParams& edge) {
+  SimTime delay = edge.base_delay +
+                  static_cast<SimTime>(rng.uniform_double(0.0, static_cast<double>(edge.noise_max)));
+  if (rng.bernoulli(edge.hiccup_prob)) {
+    delay += static_cast<SimTime>(rng.exponential(static_cast<double>(edge.hiccup_mean)));
   }
   return delay;
 }
@@ -80,13 +116,13 @@ void Network::deliver_now(std::uint32_t slot) {
   // is retried until the partition heals or an endpoint crashes.
   if (crashed_[to] || crashed_[msg.from]) return;
   if (partition_group_[msg.from] != partition_group_[to]) {
-    held_.emplace_back(to, std::move(msg));  // parked until the partition heals
+    held_by_[to].push_back(std::move(msg));  // parked until the partition heals
     return;
   }
   if (recorded_channel_ && msg.channel == *recorded_channel_) {
     arrival_logs_[to].push_back(msg.id);
   }
-  ++delivered_;
+  ++delivered_by_[to];
   if (sharded_) {
     // Hand the handler invocation off to the receiver's shard; it fires at
     // this same timestamp when the site phase of this window runs.
@@ -104,6 +140,25 @@ void Network::dispatch(SiteId to, const Message& msg) {
 }
 
 void Network::begin_site_window(SiteId32 site, Simulator& shard) {
+  if (switched_) {
+    // Drain the read-parity side of this receiver's staging cells, in
+    // canonical sender order; within a cell in staging order (the sender's
+    // own event order). Both are worker-count independent, so the receiver's
+    // event-seq assignment is too.
+    const unsigned read = write_parity_ ^ 1u;
+    for (SiteId from = 0; from < site_count_; ++from) {
+      EdgeCell& cell = staged_[from * site_count_ + site];
+      auto& buf = cell.buf[read];
+      for (auto& staged : buf) {
+        shard.schedule_at(staged.at, [this, site, msg = std::move(staged.msg)]() mutable {
+          deliver_switched_now(site, std::move(msg));
+        });
+      }
+      buf.clear();
+      cell.min_at[read] = kSimTimeMax;
+    }
+    return;
+  }
   auto& box = inbox_[site];
   for (auto& handoff : box) {
     shard.schedule_at(handoff.at, [this, site, msg = std::move(handoff.msg)] {
@@ -114,6 +169,7 @@ void Network::begin_site_window(SiteId32 site, Simulator& shard) {
 }
 
 void Network::flush_outboxes() {
+  if (switched_) return;  // sends are processed inline on the sending shard
   flush_scratch_.clear();
   for (auto& box : outbox_) {
     for (auto& request : box) flush_scratch_.push_back(std::move(request));
@@ -131,6 +187,19 @@ void Network::flush_outboxes() {
             });
   for (auto& request : flush_scratch_) process_send(request);
   flush_scratch_.clear();
+}
+
+SimTime Network::earliest_staged(SiteId32 site) {
+  if (!switched_) return kSimTimeMax;
+  // Called by the coordinator between phases, when write-parity cells are
+  // empty by construction (they were last round's read side and have been
+  // drained) - only the read side can hold undrained deliveries.
+  const unsigned read = write_parity_ ^ 1u;
+  SimTime earliest = kSimTimeMax;
+  for (SiteId from = 0; from < site_count_; ++from) {
+    earliest = std::min(earliest, staged_[from * site_count_ + site].min_at[read]);
+  }
+  return earliest;
 }
 
 void Network::process_send(SendRequest& request) {
@@ -151,23 +220,104 @@ void Network::process_send(SendRequest& request) {
     Message msg{request.id, from, request.channel, std::move(request.payload)};
     for (SiteId to = 0; to < site_count_; ++to) {
       if (crashed_[to]) continue;  // partitioned receivers are handled at delivery
-      SimTime delay = on_wire + sample_receiver_delay();
+      SimTime delay = on_wire + sample_receiver_delay(rng_, edge_params(from, to));
       // Loss + retransmission: each drop defers delivery by one timeout. The
       // channel stays reliable (paper model) but late arrivals perturb order.
       while (rng_.bernoulli(config_.loss_prob)) delay += config_.retransmit_timeout;
       deliver(to, msg, request.at + delay);
     }
   } else {
-    SimTime delay = on_wire + sample_receiver_delay();
+    SimTime delay = on_wire + sample_receiver_delay(rng_, edge_params(from, request.to));
     while (rng_.bernoulli(config_.loss_prob)) delay += config_.retransmit_timeout;
     deliver(request.to, Message{request.id, from, request.channel, std::move(request.payload)},
             request.at + delay);
   }
 }
 
+void Network::process_send_switched(SendRequest& request) {
+  const SiteId from = request.id.sender;
+  if (crashed_[from]) return;  // a crashed site's sends vanish
+  if (request.to != kEveryone && crashed_[request.to]) return;
+
+  // Per-sender link: the frame leaves when this sender's NIC frees up; every
+  // receiver's edge delay is measured from that point. All state touched here
+  // (link clock, per-edge rng rows, staging cells of row `from`) is owned by
+  // the sending shard, which is what makes inline processing race-free.
+  SimTime& link = link_free_at_[from];
+  const SimTime wire_at = std::max(request.at, link);
+  link = wire_at + config_.serialization_time;
+  const SimTime on_wire = link - request.at;
+
+  if (request.to == kEveryone) {
+    Message msg{request.id, from, request.channel, std::move(request.payload)};
+    for (SiteId to = 0; to < site_count_; ++to) {
+      if (crashed_[to]) continue;
+      Rng& rng = edge_rng(from, to);
+      SimTime delay = on_wire + sample_receiver_delay(rng, edge_params(from, to));
+      while (rng.bernoulli(config_.loss_prob)) delay += config_.retransmit_timeout;
+      route_switched(from, to, msg, request.at + delay);
+    }
+  } else {
+    Rng& rng = edge_rng(from, request.to);
+    SimTime delay = on_wire + sample_receiver_delay(rng, edge_params(from, request.to));
+    while (rng.bernoulli(config_.loss_prob)) delay += config_.retransmit_timeout;
+    route_switched(from, request.to,
+                   Message{request.id, from, request.channel, std::move(request.payload)},
+                   request.at + delay);
+  }
+}
+
+void Network::route_switched(SiteId from, SiteId to, Message msg, SimTime fire_at) {
+  Simulator* active = active_shard();
+  const bool site_phase = engine_ != nullptr && active != nullptr && active != &sim_;
+  if (site_phase && to != from) {
+    // Cross-site delivery from a site phase: stage it on the write-parity
+    // side of the edge cell; the barrier flips parity and the receiver's
+    // worker drains it at its next phase start. The engine's per-edge bound
+    // guarantees fire_at is never behind the receiver's clock by then.
+    EdgeCell& cell = staged_[from * site_count_ + to];
+    auto& buf = cell.buf[write_parity_];
+    buf.push_back(StagedDelivery{fire_at, std::move(msg)});
+    cell.min_at[write_parity_] = std::min(cell.min_at[write_parity_], fire_at);
+    return;
+  }
+  // Self-deliveries (multicast loopback) land inline on the sending shard;
+  // hub control events, the idle engine, and classic mode schedule directly
+  // on the receiver (single-threaded in all three cases).
+  schedule_delivery(to, std::move(msg), fire_at);
+}
+
+void Network::schedule_delivery(SiteId to, Message msg, SimTime fire_at) {
+  Simulator& target = engine_ != nullptr ? engine_->site(to) : sim_;
+  target.schedule_at(fire_at, [this, to, msg = std::move(msg)]() mutable {
+    deliver_switched_now(to, std::move(msg));
+  });
+}
+
+void Network::deliver_switched_now(SiteId to, Message msg) {
+  // Fault checks at fire time on the receiver's shard. Crash/partition state
+  // only mutates in hub phases (or between runs), which the engine barrier
+  // orders against every site phase.
+  if (crashed_[to] || crashed_[msg.from]) return;
+  if (partition_group_[msg.from] != partition_group_[to]) {
+    held_by_[to].push_back(std::move(msg));  // parked until the partition heals
+    return;
+  }
+  if (recorded_channel_ && msg.channel == *recorded_channel_) {
+    arrival_logs_[to].push_back(msg.id);
+  }
+  ++delivered_by_[to];
+  dispatch(to, msg);
+}
+
 MsgId Network::multicast(SiteId from, Channel channel, PayloadPtr payload) {
   OTPDB_CHECK(from < site_count_);
   const MsgId id{from, next_seq_[from]++};
+  if (switched_) {
+    SendRequest request{send_clock(), id, kEveryone, channel, std::move(payload)};
+    process_send_switched(request);
+    return id;
+  }
   if (sharded_) {
     // Buffered until the window barrier, where crash checks see the fault
     // state as of the window END: fault transitions are quantized to window
@@ -185,6 +335,11 @@ MsgId Network::unicast(SiteId from, SiteId to, Channel channel, PayloadPtr paylo
   OTPDB_CHECK(from < site_count_);
   OTPDB_CHECK(to < site_count_);
   const MsgId id{from, next_seq_[from]++};
+  if (switched_) {
+    SendRequest request{send_clock(), id, to, channel, std::move(payload)};
+    process_send_switched(request);
+    return id;
+  }
   if (sharded_) {
     outbox_[from].push_back(SendRequest{send_clock(), id, to, channel, std::move(payload)});
     return id;
@@ -213,10 +368,29 @@ void Network::heal_partition() {
   std::fill(partition_group_.begin(), partition_group_.end(), 0);
   // Reliable channels: everything parked during the split now flows, with a
   // fresh receiver delay per message (modelling post-heal retransmission).
-  std::vector<std::pair<SiteId, Message>> held = std::move(held_);
-  held_.clear();
-  for (auto& [to, msg] : held) {
-    deliver(to, std::move(msg), sim_.now() + config_.retransmit_timeout + sample_receiver_delay());
+  // Canonical replay order: receiver, then park order - worker-count
+  // independent (cells are parked by deterministic receiver-shard replays).
+  for (SiteId to = 0; to < site_count_; ++to) {
+    std::vector<Message> held = std::move(held_by_[to]);
+    held_by_[to].clear();
+    for (auto& msg : held) {
+      const SiteId from = msg.from;
+      if (switched_) {
+        const SimTime fire =
+            sim_.now() + config_.retransmit_timeout +
+            sample_receiver_delay(edge_rng(from, to), edge_params(from, to));
+        // Channel clocks: the receiver's shard may already sit past the hub
+        // clock; clamp so the replay never lands in its local past. (Heal is
+        // a hub control event; the receiver can be at most one incoming
+        // lookahead ahead, so the clamp moves the replay by < lookahead.)
+        Simulator& target = engine_ != nullptr ? engine_->site(to) : sim_;
+        schedule_delivery(to, std::move(msg), std::max(fire, target.now()));
+      } else {
+        deliver(to, std::move(msg),
+                sim_.now() + config_.retransmit_timeout +
+                    sample_receiver_delay(rng_, edge_params(from, to)));
+      }
+    }
   }
 }
 

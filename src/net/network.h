@@ -1,38 +1,59 @@
-// Simulated broadcast LAN segment.
+// Simulated network segment with selectable topology.
 //
-// Models the testbed of the paper's Figure 1 experiment (shared Ethernet with
-// IP multicast): one shared medium that serializes frames, a propagation /
-// protocol-stack floor per receiver, and receive-side jitter. The jitter model
-// is bimodal - most packets see only microsecond-scale noise, a small fraction
-// hit a "hiccup" (kernel scheduling, interrupt coalescing) with a much larger
-// exponential delay. That bimodality is what makes spontaneous total order
-// common for well-spaced sends and increasingly rare as the send interval
-// approaches zero, reproducing the shape of Figure 1.
+// The default (flat/lan profiles) models the testbed of the paper's Figure 1
+// experiment (shared Ethernet with IP multicast): one shared medium that
+// serializes frames, a propagation / protocol-stack floor per receiver, and
+// receive-side jitter. The jitter model is bimodal - most packets see only
+// microsecond-scale noise, a small fraction hit a "hiccup" (kernel
+// scheduling, interrupt coalescing) with a much larger exponential delay.
+// That bimodality is what makes spontaneous total order common for
+// well-spaced sends and increasingly rare as the send interval approaches
+// zero, reproducing the shape of Figure 1.
+//
+// Switched topology profiles (metro, wan, geo-3dc - see net/topology.h)
+// replace the single bus with per-sender links and a per-site-pair delay
+// matrix: every (from, to) edge has its own base delay, jitter distribution,
+// and an independent rng stream, so geo-replicated latency structure is
+// first-class. The per-edge conservative lookahead is
+//     lookahead(from, to) = serialization_time + edge(from, to).base_delay,
+// a strict floor under every jitter draw (link wait, uniform noise, and
+// hiccup delays are all non-negative); the channel-clock engine synchronizes
+// on exactly these floors.
 //
 // The model also supports per-receiver message loss (with transport-level
 // retransmission so channels stay reliable, as the paper assumes), site
 // crash/recovery, and network partitions, all deterministic under a seed.
 //
-// Two driving modes share all of the above:
+// Driving modes:
 //  * Classic (default): one Simulator runs the whole cluster; sends are
 //    processed inline and deliveries invoke handlers directly.
-//  * Sharded (attach_engine): the network is the hub shard of a
-//    ShardedEngine. Sends from site shards are buffered in per-sender
-//    outboxes and flushed at window barriers in canonical (time, sender,
-//    seq) order; delivery events run on the hub (fault checks, arrival
-//    logs) and hand the handler invocation off to the receiver's shard via
-//    its inbox. Every delivery is delayed by at least lookahead() =
-//    serialization_time + base_delay, which is the conservative window the
-//    engine synchronizes on.
+//  * Sharded + shared bus (flat/lan): the network is the hub shard of a
+//    ShardedEngine running global windows. Sends from site shards are
+//    buffered in per-sender outboxes and flushed at window barriers in
+//    canonical (time, sender, seq) order; delivery events run on the hub
+//    (fault checks, arrival logs) and hand the handler invocation off to the
+//    receiver's shard via its inbox.
+//  * Sharded + switched: sends are processed inline on the *sending* shard
+//    (the per-sender link clock and the per-edge rng streams are sender-
+//    local, so no global bus order exists to wait for). Self-deliveries are
+//    scheduled immediately on the sending shard; cross-site deliveries land
+//    in per-edge staging cells, double-buffered by round parity, and are
+//    drained into the receiver's queue in canonical sender order - by the
+//    receiver's own worker at its next phase start (the sharded hub phase)
+//    or serially at the barrier (ParallelismConfig::sharded_hub_drain =
+//    false). Fault checks run at delivery time on the receiver's shard.
 //
-// Sharded-mode fault model: sends are crash-checked at the window barrier,
-// so a crash/recovery injected mid-window applies to every send of that
-// window (fault transitions quantize to window boundaries, at most
-// lookahead() away from their classic-mode effect). This is a deliberate,
-// deterministic divergence from the classic loop, on top of the same-
-// timestamp cross-shard tie-break difference documented in
-// sim/sharded_engine.h; histories remain bit-for-bit identical across
-// sharded thread counts.
+// Sharded-mode fault model: crash/partition state is only mutated by hub
+// control events (or between runs), while site phases read it. Under global
+// windows sends are crash-checked at the window barrier, so a transition
+// injected mid-window applies to every send of that window; under channel
+// clocks sends are checked inline and deliveries at fire time, so a
+// transition applies from each site's *next* round. Either way transitions
+// quantize to round boundaries, at most one incoming lookahead away from
+// their classic-mode effect - a deliberate, deterministic divergence from
+// the classic loop, on top of the same-timestamp cross-shard tie-break
+// difference documented in sim/sharded_engine.h; histories remain
+// bit-for-bit identical across sharded thread counts for every profile.
 #pragma once
 
 #include <cstdint>
@@ -41,6 +62,7 @@
 #include <vector>
 
 #include "net/message.h"
+#include "net/topology.h"
 #include "sim/sharded_engine.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
@@ -50,6 +72,7 @@ namespace otpdb {
 /// Timing and fault parameters of the simulated segment.
 struct NetConfig {
   /// Time a frame occupies the shared medium (10 Mbit/s, ~128-byte frames).
+  /// Switched topologies charge it per sender link instead of per bus.
   SimTime serialization_time = 100 * kMicrosecond;
   /// Fixed propagation + stack traversal floor applied to every delivery.
   SimTime base_delay = 50 * kMicrosecond;
@@ -66,6 +89,11 @@ struct NetConfig {
   double loss_prob = 0.0;
   /// Retransmission timeout applied per drop.
   SimTime retransmit_timeout = 10 * kMillisecond;
+  /// Latency structure: flat keeps the fields above as the single shared
+  /// segment; other profiles materialize a per-site-pair matrix (the fields
+  /// above still supply the frame serialization time, loss model, and - for
+  /// the lan profile - the uniform edge parameters). See net/topology.h.
+  TopologyProfile topology = TopologyProfile::flat;
 };
 
 /// Deterministic simulated network connecting n sites.
@@ -84,6 +112,10 @@ class Network final : public SharedMedium {
 
   std::size_t site_count() const { return site_count_; }
   const NetConfig& config() const { return config_; }
+  /// The materialized per-site-pair matrix (empty/flat for the default).
+  const TopologyMatrix& topology() const { return topo_; }
+  /// True when this topology uses per-sender links (channel-clock capable).
+  bool switched() const { return switched_; }
 
   /// Switches to sharded (mailbox) mode. The engine's hub must be the
   /// Simulator this network was constructed with.
@@ -91,14 +123,20 @@ class Network final : public SharedMedium {
 
   // -- SharedMedium -----------------------------------------------------------
 
-  /// Conservative lookahead: every delivery is delayed by at least the bus
-  /// serialization time plus the propagation floor, so a window of this size
-  /// never needs a delivery from a send inside it.
-  SimTime lookahead() const override {
-    return config_.serialization_time + config_.base_delay;
-  }
+  /// Conservative lookahead floor over all site pairs: flat topologies
+  /// return serialization_time + base_delay; matrix topologies the minimum
+  /// cross-site per-edge lookahead.
+  SimTime lookahead() const override;
+  /// Per-edge lookahead: serialization_time + edge(from, to).base_delay - a
+  /// lower bound on (delivery - send) for every message on this edge, under
+  /// every jitter draw (only loss retransmission waits can exceed it, and
+  /// they only add delay).
+  SimTime lookahead(SiteId32 from, SiteId32 to) const override;
+  bool per_edge() const override { return switched_; }
   void begin_site_window(SiteId32 site, Simulator& shard) override;
   void flush_outboxes() override;
+  SimTime earliest_staged(SiteId32 site) override;
+  void end_round() override { write_parity_ ^= 1u; }
 
   /// Registers the handler invoked when `site` receives a message on `channel`.
   /// At most one handler per (site, channel).
@@ -125,7 +163,11 @@ class Network final : public SharedMedium {
   void heal_partition();
 
   /// Total messages delivered (for bench counters).
-  std::uint64_t delivered_count() const { return delivered_; }
+  std::uint64_t delivered_count() const {
+    std::uint64_t n = 0;
+    for (std::uint64_t d : delivered_by_) n += d;
+    return n;
+  }
 
   /// Arrival-order recording used by the Figure 1 experiment: when enabled,
   /// every delivery on `channel` is appended to the per-site arrival log.
@@ -145,22 +187,40 @@ class Network final : public SharedMedium {
   static constexpr SiteId kEveryone = static_cast<SiteId>(-1);
 
   /// A delivery that survived the hub-side fault checks, awaiting handler
-  /// invocation on the receiver's shard.
+  /// invocation on the receiver's shard (shared-bus sharded mode).
   struct Handoff {
     SimTime at = 0;
     Message msg;
   };
 
+  // -- shared-bus path --------------------------------------------------------
   void process_send(SendRequest& request);
   void deliver(SiteId to, Message msg, SimTime fire_at);
   void deliver_now(std::uint32_t slot);
+
+  // -- switched (per-edge) path ----------------------------------------------
+  void process_send_switched(SendRequest& request);
+  /// Stages a cross-site delivery when called from a site phase, otherwise
+  /// schedules it directly on the receiver's shard (hub phase / idle engine /
+  /// classic mode; self-deliveries always schedule directly).
+  void route_switched(SiteId from, SiteId to, Message msg, SimTime fire_at);
+  void schedule_delivery(SiteId to, Message msg, SimTime fire_at);
+  /// Receiver-side delivery: fault checks at fire time on the receiver's
+  /// shard, then arrival log + handler dispatch.
+  void deliver_switched_now(SiteId to, Message msg);
+
   void dispatch(SiteId to, const Message& msg);
   SimTime send_clock() const;
-  SimTime sample_receiver_delay();
+  const EdgeParams& edge_params(SiteId from, SiteId to) const {
+    return topo_.flat() ? flat_edge_ : topo_.edge(from, to);
+  }
+  Rng& edge_rng(SiteId from, SiteId to) { return edge_rngs_[from * site_count_ + to]; }
+  static SimTime sample_receiver_delay(Rng& rng, const EdgeParams& edge);
 
   // In-flight messages live in a recycled slab; the scheduled event captures
   // only {this, slot}, which fits the simulator's inline action buffer - no
-  // heap allocation per delivery.
+  // heap allocation per delivery. (Shared-bus path; the switched path
+  // captures the Message inline in the event instead - it also fits.)
   struct PendingDelivery {
     SiteId to = 0;
     Message msg;
@@ -169,28 +229,51 @@ class Network final : public SharedMedium {
   Simulator& sim_;  // the hub shard in sharded mode
   std::size_t site_count_;
   NetConfig config_;
+  TopologyMatrix topo_;
+  EdgeParams flat_edge_;  // the NetConfig fields as an EdgeParams (flat path)
+  bool switched_ = false;
   Rng rng_;
   bool sharded_ = false;
+  ShardedEngine* engine_ = nullptr;
   std::vector<std::uint64_t> next_seq_;                 // per sender
   std::vector<std::vector<Handler>> handlers_;          // [site][channel]
   std::vector<bool> crashed_;
   std::vector<std::uint32_t> partition_group_;          // 0 = none/all together
-  SimTime bus_free_at_ = 0;
-  std::uint64_t delivered_ = 0;
+  SimTime bus_free_at_ = 0;                             // shared-bus serialization
+  std::vector<SimTime> link_free_at_;                   // switched: per sender NIC
+  std::vector<Rng> edge_rngs_;                          // switched: [from*n+to]
+  std::vector<std::uint64_t> delivered_by_;             // per receiver
   std::vector<PendingDelivery> in_flight_;        // slab, indexed by slot
   std::vector<std::uint32_t> free_flight_slots_;
-  std::vector<std::pair<SiteId, Message>> held_;  // parked by an active partition
+  std::vector<std::vector<Message>> held_by_;     // per receiver, parked by a partition
   std::optional<Channel> recorded_channel_;
   std::vector<std::vector<MsgId>> arrival_logs_;
 
-  // Sharded-mode mailboxes. outbox_[s] is written only by the shard running
-  // site s's events (or the hub during its phase) and drained at barriers;
-  // inbox_[s] is written by the hub phase and drained by site s's shard at
-  // the start of its phase. Phases never overlap, so no locks are needed -
-  // the engine's barrier provides the happens-before edges.
+  // Sharded-mode mailboxes (shared-bus path). outbox_[s] is written only by
+  // the shard running site s's events (or the hub during its phase) and
+  // drained at barriers; inbox_[s] is written by the hub phase and drained by
+  // site s's shard at the start of its phase. Phases never overlap, so no
+  // locks are needed - the engine's barrier provides the happens-before
+  // edges.
   std::vector<std::vector<SendRequest>> outbox_;
   std::vector<std::vector<Handoff>> inbox_;
   std::vector<SendRequest> flush_scratch_;
+
+  // Sharded-mode staging (switched path): per-edge cells, double-buffered by
+  // round parity. buf[write_parity_] is appended by the sending shard during
+  // its phase; buf[write_parity_ ^ 1] (flipped at the barrier) is drained by
+  // the receiving shard at its next phase start. A cell is thus touched by
+  // at most one thread per phase, with the engine barrier ordering rounds.
+  struct StagedDelivery {
+    SimTime at = 0;
+    Message msg;
+  };
+  struct EdgeCell {
+    std::vector<StagedDelivery> buf[2];
+    SimTime min_at[2] = {kSimTimeMax, kSimTimeMax};
+  };
+  std::vector<EdgeCell> staged_;  // [from*n+to]
+  unsigned write_parity_ = 0;
 };
 
 }  // namespace otpdb

@@ -16,6 +16,11 @@ inline void cpu_pause() {
 #endif
 }
 
+/// a + b without overflowing past the "no event" sentinel.
+inline SimTime sat_add(SimTime a, SimTime b) {
+  return a >= kSimTimeMax - b ? kSimTimeMax : a + b;
+}
+
 }  // namespace
 
 Simulator* active_shard() { return tls_active_shard; }
@@ -46,19 +51,100 @@ void ShardedEngine::attach_medium(SharedMedium* medium) {
   OTPDB_CHECK(medium != nullptr);
   OTPDB_CHECK_MSG(medium_ == nullptr, "medium already attached");
   medium_ = medium;
-  const SimTime lookahead = medium->lookahead();
-  OTPDB_CHECK_MSG(lookahead >= 1,
+  const std::size_t n = sites_.size();
+  bounds_.assign(n, 0);
+  eot_.assign(n, 0);
+
+  if (config_.strategy == WindowStrategy::channel) {
+    OTPDB_CHECK_MSG(medium->per_edge(),
+                    "channel window strategy requires a per-edge medium "
+                    "(pick a switched topology profile: metro, wan, geo-3dc)");
+  }
+  channel_ = medium->per_edge() && config_.strategy != WindowStrategy::global;
+
+  const SimTime global_la = medium->lookahead();
+  OTPDB_CHECK_MSG(global_la >= 1,
                   "sharded engine needs a positive cross-shard lookahead "
                   "(serialization_time + base_delay must be > 0)");
-  window_ = config_.window > 0 ? std::min(config_.window, lookahead) : lookahead;
+  if (!channel_) {
+    window_ = config_.window > 0 ? std::min(config_.window, global_la) : global_la;
+    stats_.window = window_;
+    return;
+  }
+
+  // Channel strategy: cache the lookahead matrix and derive the autotuner's
+  // cap range from its extremes.
+  lookahead_.resize(n * n);
+  std::vector<SimTime> min_in(n, kSimTimeMax);
+  min_lookahead_ = kSimTimeMax;
+  SimTime max_lookahead = 0;
+  for (std::size_t from = 0; from < n; ++from) {
+    for (std::size_t to = 0; to < n; ++to) {
+      const SimTime la = medium->lookahead(static_cast<SiteId32>(from),
+                                           static_cast<SiteId32>(to));
+      OTPDB_CHECK_MSG(la >= 1, "per-edge lookahead must be positive");
+      lookahead_[from * n + to] = la;
+      // The hub may originate a send on any site's behalf (control events),
+      // so its edge into `to` is the weakest incoming one, self included.
+      min_in[to] = std::min(min_in[to], la);
+      if (from != to) {
+        min_lookahead_ = std::min(min_lookahead_, la);
+        max_lookahead = std::max(max_lookahead, la);
+      }
+    }
+  }
+  if (min_lookahead_ == kSimTimeMax) min_lookahead_ = global_la;  // single site
+
+  // Shortest-path closure (Floyd-Warshall) of the lookahead graph. A message
+  // chain r -> q -> ... -> s reacting within one round is delayed by at least
+  // the sum of the edge lookaheads along the path, so the safe per-round
+  // bound for s is min over ALL shards r of EOT_r + dist_(r, s) - including
+  // r == s, whose entry is the cheapest round trip via a peer: a site's own
+  // in-phase sends can wake an idle neighbor whose reply must not land in
+  // the sender's past. (Self staging never happens - loopback is inline - so
+  // the diagonal starts at infinity, not lookahead(s, s).)
+  dist_ = lookahead_;
+  for (std::size_t s = 0; s < n; ++s) dist_[s * n + s] = kSimTimeMax;
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const SimTime ik = dist_[i * n + k];
+      if (ik == kSimTimeMax) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        dist_[i * n + j] = std::min(dist_[i * n + j], sat_add(ik, dist_[k * n + j]));
+      }
+    }
+  }
+  // The hub reaches s directly over its weakest incoming edge or by waking
+  // any site r first and chaining through the graph.
+  hub_dist_.assign(n, kSimTimeMax);
+  for (std::size_t s = 0; s < n; ++s) {
+    hub_dist_[s] = min_in[s];
+    for (std::size_t r = 0; r < n; ++r) {
+      hub_dist_[s] = std::min(hub_dist_[s], sat_add(min_in[r], dist_[r * n + s]));
+    }
+  }
+  const auto& at = config_.autotune;
+  window_min_ = at.min_window > 0 ? at.min_window : min_lookahead_;
+  window_max_ = at.max_window > 0 ? at.max_window
+                                  : std::max(64 * min_lookahead_, max_lookahead);
+  window_max_ = std::max(window_max_, window_min_);
+  if (config_.window > 0) {
+    window_ = config_.window;  // fixed per-round cap
+  } else if (at.enabled) {
+    autotune_ = true;
+    window_ = std::clamp(4 * min_lookahead_, window_min_, window_max_);
+  } else {
+    window_ = window_max_;
+  }
+  stats_.window = window_;
 }
 
-void ShardedEngine::run_owned_sites(unsigned worker, SimTime end) {
+void ShardedEngine::run_owned_sites(unsigned worker) {
   for (std::size_t s = worker; s < sites_.size(); s += n_workers_) {
     Simulator& shard = *sites_[s];
     set_active_shard(&shard);
     medium_->begin_site_window(static_cast<SiteId32>(s), shard);
-    shard.run_until(end);
+    shard.run_until(bounds_[s]);
   }
   set_active_shard(nullptr);
 }
@@ -81,29 +167,76 @@ void ShardedEngine::worker_loop(unsigned worker) {
     }
     seen = cur;
     if (stop_.load(std::memory_order_acquire)) return;
-    run_owned_sites(worker, window_end_);
+    run_owned_sites(worker);
     arrived_.fetch_add(1, std::memory_order_release);
     arrived_.notify_all();
   }
 }
 
+void ShardedEngine::run_site_phase() {
+  if (!threads_.empty()) {
+    arrived_.store(0, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);  // publishes bounds_
+    epoch_.notify_all();
+    run_owned_sites(0);
+    unsigned arrived;
+    int spins = 0;
+    while ((arrived = arrived_.load(std::memory_order_acquire)) != n_workers_ - 1) {
+      if (++spins < 256) {
+        cpu_pause();
+      } else {
+        arrived_.wait(arrived, std::memory_order_acquire);
+      }
+    }
+  } else {
+    run_owned_sites(0);
+  }
+}
+
 void ShardedEngine::run_until(SimTime deadline) {
   OTPDB_CHECK_MSG(medium_ != nullptr, "attach_medium before running the sharded engine");
+  if (channel_) {
+    run_until_channel(deadline);
+  } else {
+    run_until_global(deadline);
+  }
+  // No shard has events at or before the deadline; advance every clock to it
+  // so the next run resumes from a common boundary.
+  hub_.run_until(deadline);
+  for (auto& s : sites_) s->run_until(deadline);
+}
+
+void ShardedEngine::run_until_global(SimTime deadline) {
   // Sends issued while the engine is idle (setup code, test pokes between
   // runs) sit in outboxes stamped with the hub clock of that moment. Flush
   // them before the first window: otherwise the window-start jump below can
   // leap past their delivery times and the barrier flush would schedule
   // hub events in the past.
   medium_->flush_outboxes();
+  const std::size_t n = sites_.size();
+  const bool per_edge = medium_->per_edge();
   for (;;) {
-    // After a barrier all pending work sits in shard queues, so the earliest
-    // event across shards bounds the next window start - idle stretches
-    // (quiesce phases) collapse into a single jump.
+    // After a barrier all pending work sits in shard queues (or, for
+    // per-edge media, staging cells), so the earliest event across shards
+    // bounds the next window start - idle stretches (quiesce phases)
+    // collapse into a single jump.
     SimTime next = hub_.next_event_time();
-    for (auto& s : sites_) next = std::min(next, s->next_event_time());
+    for (std::size_t s = 0; s < n; ++s) {
+      SimTime site_next = sites_[s]->next_event_time();
+      if (per_edge) {
+        site_next = std::min(site_next,
+                             medium_->earliest_staged(static_cast<SiteId32>(s)));
+      }
+      eot_[s] = site_next;
+      next = std::min(next, site_next);
+    }
     const SimTime start = std::max(hub_.now(), next);
     if (start > deadline) break;
     const SimTime end = std::min(deadline, start + window_);
+
+    unsigned active = 0;
+    for (std::size_t s = 0; s < n; ++s) active += eot_[s] <= end;
+    stats_.site_activations += active;
 
     // 1. Hub phase: deliveries -> inboxes, plus control events.
     set_active_shard(&hub_);
@@ -111,33 +244,105 @@ void ShardedEngine::run_until(SimTime deadline) {
     set_active_shard(nullptr);
 
     // 2. Site phase: shards run [start, end] concurrently, lock-free.
-    if (!threads_.empty()) {
-      window_end_ = end;
-      arrived_.store(0, std::memory_order_relaxed);
-      epoch_.fetch_add(1, std::memory_order_release);
-      epoch_.notify_all();
-      run_owned_sites(0, end);
-      unsigned arrived;
-      int spins = 0;
-      while ((arrived = arrived_.load(std::memory_order_acquire)) != n_workers_ - 1) {
-        if (++spins < 256) {
-          cpu_pause();
-        } else {
-          arrived_.wait(arrived, std::memory_order_acquire);
-        }
-      }
-    } else {
-      run_owned_sites(0, end);
-    }
+    std::fill(bounds_.begin(), bounds_.end(), end);
+    run_site_phase();
 
     // 3. Barrier: canonical flush of all buffered sends into future hub
-    // deliveries (the lookahead puts them strictly beyond `end`).
-    medium_->flush_outboxes();
+    // deliveries (the lookahead puts them at or beyond `end`).
+    finish_round();
   }
-  // No shard has events at or before the deadline; advance every clock to it
-  // so the next run resumes from a common boundary.
-  hub_.run_until(deadline);
-  for (auto& s : sites_) s->run_until(deadline);
+}
+
+void ShardedEngine::run_until_channel(SimTime deadline) {
+  const std::size_t n = sites_.size();
+  for (;;) {
+    // Earliest output time per shard: the soonest instant it could still
+    // execute an event (and hence send). Shard queues are append-only
+    // between rounds and staged deliveries are tracked by the medium, so
+    // EOT == min(next local event, earliest staged delivery); idle shards
+    // (kSimTimeMax) constrain nobody. The hub never receives messages, so
+    // its EOT is simply its next control event.
+    const SimTime hub_eot = hub_.next_event_time();
+    SimTime global_next = hub_eot;
+    for (std::size_t s = 0; s < n; ++s) {
+      const SimTime next = std::min(sites_[s]->next_event_time(),
+                                    medium_->earliest_staged(static_cast<SiteId32>(s)));
+      eot_[s] = next;
+      global_next = std::min(global_next, next);
+    }
+    if (global_next > deadline) break;
+
+    // Channel-clock bounds: site s may run to
+    //   min over shards r of (EOT_r + dist(r -> s)),
+    // where dist is the shortest-path closure of the lookahead graph (the
+    // r == s entry is the cheapest round trip via a peer, capping how far s
+    // may outrun the echoes of its own in-phase sends), also bounded by the
+    // hub (control events may send on any edge and mutate network-wide
+    // fault state).
+    SimTime hub_end = deadline;
+    unsigned active = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+      SimTime bound = deadline;
+      const SimTime* d_in = dist_.data() + s;  // column s, stride n
+      for (std::size_t r = 0; r < n; ++r) {
+        bound = std::min(bound, sat_add(eot_[r], d_in[r * n]));
+      }
+      bound = std::min(bound, sat_add(hub_eot, hub_dist_[s]));
+      if (eot_[s] <= bound) {
+        ++active;
+        // The autotuned cap limits per-round work, measured from the first
+        // event this site will actually run.
+        bound = std::min(bound, sat_add(eot_[s], window_));
+      }
+      bounds_[s] = bound;
+      hub_end = std::min(hub_end, bound);
+    }
+    stats_.site_activations += active;
+
+    // 1. Hub phase (serial, sites idle): control events run to the slowest
+    // site bound; their sends schedule directly onto the site shards.
+    set_active_shard(&hub_);
+    hub_.run_until(hub_end);
+    set_active_shard(nullptr);
+
+    // 2. Site phase: each shard drains its staged deliveries (canonical
+    // sender order) and runs to its own bound; sends process inline on the
+    // sending shard and stage cross-site deliveries per edge.
+    const std::uint64_t before = autotune_ ? executed() : 0;
+    run_site_phase();
+
+    // 3. Barrier: flip staging parity (and drain serially when the sharded
+    // hub phase is disabled).
+    finish_round();
+
+    if (autotune_ && active > 0) {
+      const std::uint64_t per_site = (executed() - before) / active;
+      if (per_site > config_.autotune.target_hi && window_ > window_min_) {
+        window_ = std::max(window_min_, window_ / 2);
+        ++stats_.window_shrinks;
+        stats_.window = window_;
+      } else if (per_site < config_.autotune.target_lo && window_ < window_max_) {
+        window_ = std::min(window_max_, window_ * 2);
+        ++stats_.window_grows;
+        stats_.window = window_;
+      }
+    }
+  }
+}
+
+void ShardedEngine::finish_round() {
+  medium_->flush_outboxes();
+  medium_->end_round();
+  if (!config_.sharded_hub_drain) {
+    // Ablation baseline: the coordinator performs the whole delivery fan-out
+    // serially at the barrier instead of each receiver draining its own
+    // staged cells at phase start. Canonical receiver order keeps the event
+    // seq assignment identical to the sharded drain.
+    for (std::size_t s = 0; s < sites_.size(); ++s) {
+      medium_->begin_site_window(static_cast<SiteId32>(s), *sites_[s]);
+    }
+  }
+  ++stats_.rounds;
 }
 
 std::uint64_t ShardedEngine::executed() const {

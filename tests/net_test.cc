@@ -296,5 +296,141 @@ TEST(SpontaneousOrder, HighJitterLowersAgreement) {
   EXPECT_GT(calm, 0.9);
 }
 
+// -- topology profiles -------------------------------------------------------
+
+TEST(Topology, ProfileTablesAreSymmetricWhereDeclared) {
+  const EdgeParams flat_edge{50 * kMicrosecond, 20 * kMicrosecond, 0.06, 310 * kMicrosecond};
+  for (TopologyProfile profile :
+       {TopologyProfile::flat, TopologyProfile::lan, TopologyProfile::metro,
+        TopologyProfile::wan, TopologyProfile::geo_3dc}) {
+    const TopologyMatrix m = build_topology(profile, 7, flat_edge);
+    EXPECT_TRUE(m.symmetric) << topology_profile_name(profile);
+    if (m.flat()) continue;
+    for (std::size_t i = 0; i < 7; ++i) {
+      for (std::size_t j = 0; j < 7; ++j) {
+        EXPECT_TRUE(m.edge(i, j) == m.edge(j, i))
+            << topology_profile_name(profile) << " edge (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(Topology, ProfileNamesRoundTrip) {
+  for (TopologyProfile profile :
+       {TopologyProfile::flat, TopologyProfile::lan, TopologyProfile::metro,
+        TopologyProfile::wan, TopologyProfile::geo_3dc}) {
+    const auto parsed = parse_topology_profile(topology_profile_name(profile));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, profile);
+  }
+  EXPECT_EQ(parse_topology_profile("geo_3dc"), TopologyProfile::geo_3dc);
+  EXPECT_FALSE(parse_topology_profile("ring").has_value());
+}
+
+TEST(Topology, SwitchedMulticastReachesAllSites) {
+  Simulator sim;
+  NetConfig cfg;  // full jitter defaults
+  cfg.topology = TopologyProfile::geo_3dc;
+  Network net(sim, 6, cfg, Rng(3));
+  ASSERT_TRUE(net.switched());
+  std::vector<int> received(6, 0);
+  for (SiteId s = 0; s < 6; ++s) {
+    net.subscribe(s, 0, [&received, s](const Message&) { ++received[s]; });
+  }
+  net.multicast(2, 0, std::make_shared<TestPayload>(1));
+  net.unicast(0, 5, 0, std::make_shared<TestPayload>(2));
+  sim.run();
+  for (SiteId s = 0; s < 6; ++s) EXPECT_EQ(received[s], s == 5 ? 2 : 1) << "site " << s;
+}
+
+/// The conservative lookahead contract the channel-clock engine relies on:
+/// for EVERY delivery - under uniform noise, hiccup tails, and link queueing -
+/// (delivery time - send time) >= lookahead(from, to), strictly.
+TEST(Topology, PerEdgeLookaheadIsADeliveryLowerBoundUnderJitter) {
+  for (TopologyProfile profile : {TopologyProfile::metro, TopologyProfile::wan,
+                                  TopologyProfile::geo_3dc}) {
+    Simulator sim;
+    NetConfig cfg;  // full jitter defaults, plus loss retransmission delays
+    cfg.topology = profile;
+    cfg.loss_prob = 0.02;
+    Network net(sim, 5, cfg, Rng(99));
+    std::vector<SimTime> send_time;  // by multicast issue order == MsgId.seq per sender
+    std::uint64_t checked = 0;
+    for (SiteId to = 0; to < 5; ++to) {
+      net.subscribe(to, 0, [&, to](const Message& msg) {
+        const SimTime sent = send_time[msg.id.sender * 40 + msg.id.seq];
+        EXPECT_GE(sim.now() - sent, net.lookahead(msg.id.sender, to))
+            << topology_profile_name(profile) << " edge (" << msg.id.sender << "," << to
+            << ")";
+        ++checked;
+      });
+    }
+    send_time.assign(5 * 40, 0);
+    SimTime t = 0;
+    for (int i = 0; i < 40; ++i) {
+      for (SiteId from = 0; from < 5; ++from) {
+        sim.schedule_at(t, [&net, &send_time, &sim, from, i] {
+          send_time[from * 40 + i] = sim.now();
+          net.multicast(from, 0, std::make_shared<TestPayload>(i));
+        });
+      }
+      t += 700 * kMicrosecond;  // bursts overlap on the sender links
+    }
+    sim.run();
+    EXPECT_EQ(checked, 5u * 40u * 5u) << topology_profile_name(profile);
+  }
+}
+
+/// `lan` is the flat defaults written out as an explicit matrix over the same
+/// shared bus: delivery instants must be bit-for-bit identical to `flat`.
+TEST(Topology, LanProfileIsBitIdenticalToFlat) {
+  auto run = [](TopologyProfile profile) {
+    Simulator sim;
+    NetConfig cfg;  // full jitter defaults
+    cfg.topology = profile;
+    cfg.loss_prob = 0.01;
+    Network net(sim, 4, cfg, Rng(7));
+    std::vector<std::pair<SiteId, SimTime>> deliveries;
+    for (SiteId s = 0; s < 4; ++s) {
+      net.subscribe(s, 0, [&deliveries, &sim, s](const Message&) {
+        deliveries.emplace_back(s, sim.now());
+      });
+    }
+    SimTime t = 0;
+    for (int i = 0; i < 100; ++i) {
+      const SiteId sender = static_cast<SiteId>(i % 4);
+      sim.schedule_at(t, [&net, sender] {
+        net.multicast(sender, 0, std::make_shared<TestPayload>(0));
+      });
+      t += 300 * kMicrosecond;
+    }
+    sim.run();
+    return deliveries;
+  };
+  EXPECT_EQ(run(TopologyProfile::flat), run(TopologyProfile::lan));
+}
+
+TEST(Topology, SwitchedPartitionParksAndHealReplays) {
+  Simulator sim;
+  NetConfig cfg;
+  cfg.topology = TopologyProfile::metro;
+  Network net(sim, 4, cfg, Rng(11));
+  std::vector<int> received(4, 0);
+  for (SiteId s = 0; s < 4; ++s) {
+    net.subscribe(s, 0, [&received, s](const Message&) { ++received[s]; });
+  }
+  net.partition({0, 1}, {2, 3});
+  net.multicast(0, 0, std::make_shared<TestPayload>(1));
+  sim.run();
+  EXPECT_EQ(received[0], 1);
+  EXPECT_EQ(received[1], 1);
+  EXPECT_EQ(received[2], 0);  // parked across the cut
+  EXPECT_EQ(received[3], 0);
+  net.heal_partition();
+  sim.run();
+  EXPECT_EQ(received[2], 1);  // reliable channels: replayed after healing
+  EXPECT_EQ(received[3], 1);
+}
+
 }  // namespace
 }  // namespace otpdb

@@ -22,6 +22,7 @@
 #include "baseline/conservative_replica.h"
 #include "checker/history.h"
 #include "core/cluster.h"
+#include "net/topology.h"
 #include "workload/tpcc_lite.h"
 #include "workload/workload.h"
 
@@ -93,6 +94,7 @@ struct RunResult {
   std::uint64_t stores = 0;
   std::uint64_t delivered = 0;
   std::uint64_t events = 0;
+  std::uint64_t rounds = 0;             // barrier rounds (EngineStats::rounds)
   std::vector<std::uint64_t> counters;  // per-site metric counters, flattened
   bool serializable = false;
   bool converged = false;
@@ -177,6 +179,7 @@ RunResult run_mixed(EngineKind engine, unsigned threads, bool chaos) {
   out.stores = store_digest(*cluster);
   out.delivered = cluster->net().delivered_count();
   out.events = cluster->engine()->executed();
+  out.rounds = cluster->engine()->stats().rounds;
   out.committed = cluster->total_committed();
   collect_metrics(*cluster, out);
   out.serializable = check_one_copy_serializability(recorder.site_logs()).ok();
@@ -212,6 +215,7 @@ RunResult run_tpcc(unsigned threads) {
   out.stores = store_digest(*cluster);
   out.delivered = cluster->net().delivered_count();
   out.events = cluster->engine()->executed();
+  out.rounds = cluster->engine()->stats().rounds;
   out.committed = cluster->total_committed();
   collect_metrics(*cluster, out);
   out.serializable = check_one_copy_serializability(recorder.site_logs()).ok();
@@ -227,6 +231,7 @@ void expect_equal(const RunResult& base, const RunResult& other, unsigned thread
   EXPECT_EQ(base.stores, other.stores) << "final states diverge at threads=" << threads;
   EXPECT_EQ(base.delivered, other.delivered) << "deliveries diverge at threads=" << threads;
   EXPECT_EQ(base.events, other.events) << "event counts diverge at threads=" << threads;
+  EXPECT_EQ(base.rounds, other.rounds) << "barrier rounds diverge at threads=" << threads;
   EXPECT_EQ(base.counters, other.counters) << "metrics diverge at threads=" << threads;
   EXPECT_EQ(base.committed, other.committed);
 }
@@ -273,6 +278,114 @@ TEST(ParallelParity, TpccRemoteMix) {
   for (unsigned threads : kThreadCounts) {
     if (threads == 1) continue;
     expect_equal(base, run_tpcc(threads), threads);
+  }
+}
+
+// -- topology sweeps ---------------------------------------------------------
+//
+// Every topology profile must uphold the same contract: one (profile, seed)
+// configuration is bit-for-bit identical at every thread count. The switched
+// profiles additionally exercise the per-edge channel-clock path (per-sender
+// links, per-edge rng streams, double-buffered staging cells), so these
+// sweeps are the oracle for the whole PR-6 medium/engine rework. Each profile
+// gets its own TEST name so CI can select subsets with --gtest_filter
+// (e.g. the TSan job runs *TopologyWan* alongside the default suite).
+
+/// Cluster tuned for a topology: the wide-area profiles (40ms+ RTTs) need the
+/// protocol timers rescaled, or retransmission/failure-detector false
+/// positives swamp the run with noise that has nothing to do with parity.
+ClusterConfig topology_config(TopologyProfile profile, unsigned threads) {
+  ClusterConfig config;
+  config.n_sites = 5;
+  config.n_classes = 8;
+  config.seed = 77;
+  config.parallel = sharded(threads);
+  config.net.topology = profile;
+  config.net.loss_prob = 0.005;
+  if (profile == TopologyProfile::wan || profile == TopologyProfile::geo_3dc) {
+    config.opt.batch_delay = 10 * kMillisecond;
+    config.opt.alignment_window = 8 * kMillisecond;
+    config.opt.consensus.fast_wait = 150 * kMillisecond;
+    config.opt.consensus.round_timeout = 500 * kMillisecond;
+    config.fd.interval = 50 * kMillisecond;
+    config.fd.suspect_timeout = 500 * kMillisecond;
+  }
+  return config;
+}
+
+RunResult run_topology(TopologyProfile profile, unsigned threads,
+                       WindowStrategy strategy = WindowStrategy::automatic) {
+  ClusterConfig config = topology_config(profile, threads);
+  config.parallel.strategy = strategy;
+  auto cluster = std::make_unique<Cluster>(config);
+  HistoryRecorder recorder(*cluster);
+
+  WorkloadConfig wl;
+  wl.updates_per_second_per_site = 50;
+  wl.mean_exec_time = 2 * kMillisecond;
+  wl.query_fraction = 0.15;
+  wl.cross_class_fraction = 0.2;
+  wl.duration = 600 * kMillisecond;
+  WorkloadDriver driver(*cluster, wl, 4242);
+  driver.start();
+  cluster->run_for(wl.duration + 400 * kMillisecond);
+  EXPECT_TRUE(cluster->quiesce(120 * kSecond));
+
+  RunResult out;
+  out.history = history_digests(recorder);
+  out.stores = store_digest(*cluster);
+  out.delivered = cluster->net().delivered_count();
+  out.events = cluster->engine()->executed();
+  out.rounds = cluster->engine()->stats().rounds;
+  out.committed = cluster->total_committed();
+  collect_metrics(*cluster, out);
+  out.serializable = check_one_copy_serializability(recorder.site_logs()).ok();
+  std::vector<const VersionedStore*> stores;
+  for (SiteId s = 0; s < cluster->site_count(); ++s) stores.push_back(&cluster->store(s));
+  out.converged = compare_final_states(stores, cluster->catalog()).ok();
+  return out;
+}
+
+void sweep_topology(TopologyProfile profile) {
+  const RunResult base = run_topology(profile, 1);
+  EXPECT_TRUE(base.serializable);
+  EXPECT_TRUE(base.converged);
+  EXPECT_GT(base.committed, 0u);
+  for (unsigned threads : kThreadCounts) {
+    if (threads == 1) continue;
+    expect_equal(base, run_topology(profile, threads), threads);
+  }
+}
+
+TEST(ParallelParity, TopologyLanParity) { sweep_topology(TopologyProfile::lan); }
+TEST(ParallelParity, TopologyMetroParity) { sweep_topology(TopologyProfile::metro); }
+TEST(ParallelParity, TopologyWanParity) { sweep_topology(TopologyProfile::wan); }
+TEST(ParallelParity, TopologyGeo3dcParity) { sweep_topology(TopologyProfile::geo_3dc); }
+
+/// `lan` is the flat shared-bus parameters spelled as a uniform matrix; the
+/// Network keeps it on the bus path with the original rng stream, so a lan
+/// cluster run is bitwise the same as a flat one - histories, stores,
+/// metrics, and barrier rounds alike.
+TEST(ParallelParity, TopologyLanMatchesFlat) {
+  expect_equal(run_topology(TopologyProfile::flat, 2), run_topology(TopologyProfile::lan, 2), 2);
+}
+
+/// The point of channel clocks: on wide-area profiles, sites connected by
+/// short intra-region edges advance many windows while cross-region channels
+/// coast, so the channel strategy needs strictly fewer barrier rounds than
+/// the global-window strategy on the identical workload. (Digests are NOT
+/// compared across strategies: they are two different deterministic
+/// schedules.)
+TEST(ParallelParity, ChannelClocksBeatGlobalWindowsOnWideArea) {
+  for (TopologyProfile profile : {TopologyProfile::wan, TopologyProfile::geo_3dc}) {
+    const RunResult channel = run_topology(profile, 2, WindowStrategy::channel);
+    const RunResult global = run_topology(profile, 2, WindowStrategy::global);
+    EXPECT_TRUE(channel.serializable);
+    EXPECT_TRUE(global.serializable);
+    EXPECT_GT(channel.committed, 0u);
+    EXPECT_LT(channel.rounds, global.rounds)
+        << "channel clocks must cut barrier rounds on profile "
+        << topology_profile_name(profile);
   }
 }
 

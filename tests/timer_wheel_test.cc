@@ -1,0 +1,161 @@
+// Unit tests for the hierarchical timer wheel (sim/timer_wheel.h):
+// quantized-late-never-early firing, O(1) cancel with generation-tagged
+// handles, re-arm patterns, far deadlines on coarse levels, and the
+// zero-heap-allocation steady-state guarantee.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/timer_wheel.h"
+// Defines the counting global operator new (one TU per binary).
+#include "util/counting_new.h"
+
+namespace otpdb {
+namespace {
+
+TEST(TimerWheel, FiresAtQuantizedDeadlineNeverEarly) {
+  Simulator sim;
+  TimerWheel wheel(sim, /*tick=*/1000);
+  SimTime fired_at = -1;
+  wheel.schedule_at(2500, [&] { fired_at = sim.now(); });
+  sim.run();
+  EXPECT_EQ(fired_at, 3000);  // next tick boundary >= deadline
+}
+
+TEST(TimerWheel, ExactBoundaryDeadlineIsNotDelayed) {
+  Simulator sim;
+  TimerWheel wheel(sim, /*tick=*/1000);
+  SimTime fired_at = -1;
+  wheel.schedule_at(4000, [&] { fired_at = sim.now(); });
+  sim.run();
+  EXPECT_EQ(fired_at, 4000);
+}
+
+TEST(TimerWheel, FiresInDeadlineThenArmOrder) {
+  Simulator sim;
+  TimerWheel wheel(sim, /*tick=*/1000);
+  std::vector<int> order;
+  wheel.schedule_at(5100, [&] { order.push_back(3); });
+  wheel.schedule_at(2100, [&] { order.push_back(1); });
+  wheel.schedule_at(2900, [&] { order.push_back(2); });  // same bucket as (1), armed later
+  wheel.schedule_at(5900, [&] { order.push_back(4); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(TimerWheel, CancelPreventsFiring) {
+  Simulator sim;
+  TimerWheel wheel(sim, /*tick=*/1000);
+  bool fired = false;
+  const TimerWheel::TimerId id = wheel.schedule_at(3000, [&] { fired = true; });
+  EXPECT_TRUE(wheel.armed(id));
+  EXPECT_EQ(wheel.armed_count(), 1u);
+  EXPECT_TRUE(wheel.cancel(id));
+  EXPECT_FALSE(wheel.armed(id));
+  EXPECT_EQ(wheel.armed_count(), 0u);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(TimerWheel, StaleCancelIsANoOp) {
+  Simulator sim;
+  TimerWheel wheel(sim, /*tick=*/1000);
+  int fires = 0;
+  const TimerWheel::TimerId id = wheel.schedule_at(1000, [&] { ++fires; });
+  sim.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_FALSE(wheel.cancel(id));  // already fired
+  // The recycled slot must not be cancellable through the stale handle.
+  bool second = false;
+  wheel.schedule_at(sim.now() + 1000, [&] { second = true; });
+  EXPECT_FALSE(wheel.cancel(id));
+  sim.run();
+  EXPECT_TRUE(second);
+  EXPECT_FALSE(wheel.cancel(TimerWheel::TimerId{}));  // null handle
+}
+
+TEST(TimerWheel, FarDeadlinesLandOnCoarseLevelsAndStillFireOnTime) {
+  Simulator sim;
+  TimerWheel wheel(sim, /*tick=*/1000);
+  // Level 0 spans 64 ticks, level 1 spans 64^2, level 2 is unbounded.
+  std::vector<std::pair<SimTime, SimTime>> fired;  // (deadline, fired_at)
+  for (SimTime deadline : {SimTime{63'000}, SimTime{64'000}, SimTime{4'095'000},
+                           SimTime{4'096'000}, SimTime{900'000'000}, SimTime{90'000'000'000}}) {
+    wheel.schedule_at(deadline, [&fired, deadline, &sim] {
+      fired.emplace_back(deadline, sim.now());
+    });
+  }
+  sim.run();
+  ASSERT_EQ(fired.size(), 6u);
+  for (const auto& [deadline, at] : fired) {
+    EXPECT_EQ(at, deadline) << "tick-aligned deadlines fire exactly";
+  }
+}
+
+TEST(TimerWheel, RearmFromCallback) {
+  Simulator sim;
+  TimerWheel wheel(sim, /*tick=*/1000);
+  int fires = 0;
+  std::function<void()> rearm = [&] {
+    ++fires;
+    if (fires < 5) wheel.schedule_after(10'000, [&] { rearm(); });
+  };
+  wheel.schedule_after(10'000, [&] { rearm(); });
+  sim.run();
+  EXPECT_EQ(fires, 5);
+  EXPECT_EQ(sim.now(), 50'000);
+}
+
+TEST(TimerWheel, OnlyOneSimulatorEventPendingForManyTimers) {
+  Simulator sim;
+  TimerWheel wheel(sim, /*tick=*/1000);
+  std::vector<TimerWheel::TimerId> ids;
+  for (int i = 0; i < 500; ++i) {
+    ids.push_back(wheel.schedule_at(1000 * (i + 1), [] {}));
+  }
+  EXPECT_EQ(wheel.armed_count(), 500u);
+  EXPECT_EQ(sim.pending(), 1u) << "one pump event, regardless of armed timers";
+  for (const auto& id : ids) wheel.cancel(id);
+  sim.run();  // the stale pump fires, finds nothing, goes idle
+  EXPECT_EQ(wheel.armed_count(), 0u);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+/// The wheel's reason to exist: arm/cancel churn (retransmission timers that
+/// almost always get acked) must not touch the heap once pools are warm.
+TEST(TimerWheel, SteadyStateChurnPerformsZeroHeapAllocations) {
+  Simulator sim;
+  TimerWheel wheel(sim, /*tick=*/256 * kMicrosecond);
+
+  // Warm-up: grow the node pool, the free list, and the simulator's slot
+  // pool to steady-state size.
+  std::vector<TimerWheel::TimerId> live;
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 64; ++i) {
+      live.push_back(wheel.schedule_after((i + 1) * kMillisecond, [] {}));
+    }
+    for (size_t i = 0; i < live.size(); i += 2) wheel.cancel(live[i]);
+    sim.run();
+    live.clear();
+  }
+
+  const std::uint64_t before = heap_alloc_count.load();
+  for (int round = 0; round < 100; ++round) {
+    // The canonical life cycle: arm a batch, cancel most (the "ack arrived"
+    // path), let the rest fire, repeat.
+    for (int i = 0; i < 64; ++i) {
+      live.push_back(wheel.schedule_after((i + 1) * kMillisecond, [] {}));
+    }
+    for (size_t i = 0; i < live.size(); ++i) {
+      if (i % 4 != 0) wheel.cancel(live[i]);
+    }
+    sim.run();
+    live.clear();
+  }
+  EXPECT_EQ(heap_alloc_count.load() - before, 0u)
+      << "timer wheel steady-state churn must be allocation-free";
+}
+
+}  // namespace
+}  // namespace otpdb

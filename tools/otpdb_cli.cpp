@@ -23,6 +23,7 @@
 #include "checker/history.h"
 #include "core/lock_table_replica.h"
 #include "net/spontaneous_order.h"
+#include "net/topology.h"
 #include "util/flags.h"
 #include "workload/tpcc_lite.h"
 #include "workload/workload.h"
@@ -41,10 +42,32 @@ int usage() {
                "              otp/conservative engines)\n"
                "              --abcast=opt|sequencer --seed=N --crash-site=S --crash-ms=T\n"
                "              --threads=N (1 = classic loop, >=2 = sharded parallel driver)\n"
+               "              --topology=PROFILE (network shape; see below)\n"
                "  tpcc:       --warehouses=N --sites=N --rate=TXN/S/SITE --seconds=S\n"
                "              --skew=THETA --remote-frac=F --seed=N --threads=N\n"
-               "  spontorder: --interval-ms=MS --messages=N --sites=N --seed=N\n");
+               "              --topology=PROFILE\n"
+               "  spontorder: --interval-ms=MS --messages=N --sites=N --seed=N\n"
+               "\n"
+               "topology profiles (--topology):\n"
+               "  %s\n"
+               "  flat/lan ride the shared-bus medium; metro/wan/geo-3dc are\n"
+               "  switched (per-site-pair delay matrix, per-edge jitter streams,\n"
+               "  channel-clock parallel driver with --threads >= 2)\n",
+               topology_profile_list());
   return 2;
+}
+
+/// Parses --topology into `config`, exiting with usage() on an unknown name.
+bool apply_topology_flag(const Flags& flags, ClusterConfig& config) {
+  const std::string name = flags.get("topology", "flat");
+  const auto profile = parse_topology_profile(name);
+  if (!profile) {
+    std::fprintf(stderr, "unknown --topology=%s (profiles: %s)\n", name.c_str(),
+                 topology_profile_list());
+    return false;
+  }
+  config.net.topology = *profile;
+  return true;
 }
 
 ReplicaFactory make_factory(const std::string& engine) {
@@ -123,6 +146,7 @@ int cmd_run(const Flags& flags) {
       flags.get("abcast", "opt") == "sequencer" ? AbcastKind::sequencer : AbcastKind::optimistic;
   // 1 = classic single-queue loop; >=2 = site-sharded engine on real cores.
   config.parallel.threads = static_cast<unsigned>(flags.get_int("threads", 1));
+  if (!apply_topology_flag(flags, config)) return usage();
 
   ReplicaFactory factory = make_factory(engine);
   auto cluster = factory ? std::make_unique<Cluster>(config, std::move(factory))
@@ -185,6 +209,7 @@ int cmd_tpcc(const Flags& flags) {
   config.objects_per_class = layout.objects_per_warehouse();
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   config.parallel.threads = static_cast<unsigned>(flags.get_int("threads", 1));
+  if (!apply_topology_flag(flags, config)) return usage();
   Cluster cluster(config);
 
   tpcc::MixConfig mix;

@@ -33,7 +33,7 @@ import time
 from pathlib import Path
 
 DEFAULT_BENCHES = ["micro_components", "otp_vs_lazy", "tpcc_mix", "cross_class",
-                   "scalability"]
+                   "scalability", "geo_mismatch"]
 
 # Counters worth keeping in the trajectory (throughput/latency/consistency).
 KEEP_COUNTERS = (
@@ -52,6 +52,12 @@ KEEP_COUNTERS = (
     "sites",
     "allocs_per_event",
     "sim_events",
+    # Topology / channel-clock sweep (PR 6).
+    "rounds",
+    "rounds_vs_global",
+    "mismatch_pct",
+    "fast_path_pct",
+    "ordering_gap_ms",
 )
 
 # Benchmark names encode the parallel-driver sweep as a "threads:N" segment
@@ -146,11 +152,26 @@ def parallel_speedups(benches: dict) -> dict:
     return table
 
 
-def print_speedup_table(table: dict):
+def max_swept_threads(benches: dict) -> int:
+    """Largest threads:N any benchmark row in this run swept."""
+    top = 0
+    for bench in benches.values():
+        for b in bench.get("benchmarks", []):
+            match = THREADS_SEGMENT.search(b["name"])
+            if match:
+                top = max(top, int(match.group(1)))
+    return top
+
+
+def print_speedup_table(table: dict, degraded: bool):
     if not table:
         return
     print("  serial-vs-parallel (wall-clock, threads:1 classic loop = 1.0;"
           " threads:0 = sharded single worker):")
+    if degraded:
+        print("    !! DEGRADED: this host has fewer cpus than the largest"
+              " swept worker count - parallel rows measure oversubscription,"
+              " not scaling; compare them only against runs of this same host")
     for family, row in table.items():
         cells = ", ".join(f"x{n}={s}" for n, s in row["speedup_by_threads"].items())
         print(f"    {family}: serial {row['serial_ms']}ms; {cells}")
@@ -172,7 +193,9 @@ def main() -> int:
         build(build_dir)
 
     result = {
-        "schema": "otpdb-bench-v2",  # v2: threads axis + parallel_speedup table
+        # v2: threads axis + parallel_speedup table; v3: degraded_parallel
+        # stamp + topology/channel-clock counters.
+        "schema": "otpdb-bench-v3",
         "host": {
             "platform": platform.platform(),
             "machine": platform.machine(),
@@ -186,6 +209,12 @@ def main() -> int:
     for name in args.bench or DEFAULT_BENCHES:
         result["benches"][name] = run_bench(build_dir, name, args.repetitions)
     result["parallel_speedup"] = parallel_speedups(result["benches"])
+    # Parallel rows recorded on a host with fewer cpus than the largest swept
+    # worker count measure oversubscription, not scaling. Stamp the run so a
+    # later comparison on a wider machine doesn't read them as regressions.
+    cpus = result["host"]["cpus"]
+    result["degraded_parallel"] = bool(
+        cpus is not None and cpus < max_swept_threads(result["benches"]))
 
     if args.compare:
         old = json.loads(Path(args.compare).read_text())
@@ -223,7 +252,7 @@ def main() -> int:
         print(f"  {name}: wall {bench['wall_clock_s']}s, fixed-work {bench['fixed_work_ms']}ms")
     if "speedup_fixed_work" in result:
         print("  speedups vs", args.compare, result["speedup_fixed_work"])
-    print_speedup_table(result["parallel_speedup"])
+    print_speedup_table(result["parallel_speedup"], result["degraded_parallel"])
     return 0
 
 
