@@ -17,14 +17,14 @@ namespace otpdb::bench {
 
 inline ReplicaFactory conservative_factory() {
   return [](const ReplicaDeps& d) {
-    return std::make_unique<ConservativeReplica>(d.sim, d.abcast, d.store, d.catalog,
+    return std::make_unique<ConservativeReplica>(d.sim, d.abcast, d.storage, d.catalog,
                                                  d.registry, d.site);
   };
 }
 
 inline ReplicaFactory lazy_factory() {
   return [](const ReplicaDeps& d) {
-    return std::make_unique<LazyReplica>(d.sim, d.net, d.store, d.catalog, d.registry, d.site);
+    return std::make_unique<LazyReplica>(d.sim, d.net, d.storage, d.catalog, d.registry, d.site);
   };
 }
 

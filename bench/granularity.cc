@@ -19,7 +19,7 @@ namespace {
 
 ReplicaFactory lock_table_factory() {
   return [](const ReplicaDeps& d) {
-    return std::make_unique<LockTableReplica>(d.sim, d.abcast, d.store, d.catalog, d.registry,
+    return std::make_unique<LockTableReplica>(d.sim, d.abcast, d.storage, d.catalog, d.registry,
                                               d.site, rmw_access_extractor(d.catalog));
   };
 }

@@ -138,7 +138,7 @@ int main() {
               kWarehouses, kOrders);
   report("[OTP - optimistic transaction processing over atomic broadcast]", run(nullptr));
   report("[lazy replication - local commit, propagate afterwards]", run([](const ReplicaDeps& d) {
-           return std::make_unique<LazyReplica>(d.sim, d.net, d.store, d.catalog, d.registry,
+           return std::make_unique<LazyReplica>(d.sim, d.net, d.storage, d.catalog, d.registry,
                                                 d.site);
          }));
   std::printf("OTP pays its latency with total-order coordination overlapped behind\n"

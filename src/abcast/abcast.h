@@ -70,6 +70,12 @@ struct AbcastStats {
   /// Sum over messages of (TO-deliver time - Opt-deliver time), nanoseconds;
   /// divide by to_delivered for the mean optimistic window.
   std::int64_t opt_to_gap_total_ns = 0;
+  /// Catch-up TO-deliveries at or below the durable floor: the decision is
+  /// replayed for ordering but the body is never fetched (the replica already
+  /// holds the committed state on disk).
+  std::uint64_t recovery_tombstones = 0;
+  /// Message bodies fetched from peers during catch-up (the durable tail).
+  std::uint64_t recovery_bodies_fetched = 0;
 };
 
 /// Per-site handle of an atomic broadcast protocol instance.

@@ -156,8 +156,18 @@ void OptAbcast::drain_decided() {
   // synchronously during dispatch (decisions and arrivals ride on network
   // events), so collect-then-dispatch preserves per-message semantics.
   drain_scratch_.clear();
-  while (!decided_queue_.empty() && decided_queue_.front().second->arrived) {
+  while (!decided_queue_.empty()) {
     const auto [id, st] = decided_queue_.front();
+    if (!st->arrived) {
+      if (next_index_ > durable_floor_) break;
+      // Tombstone: this slot's effects are already on the replica's disk, so
+      // the definitive index is assigned without a body. Marking the entry
+      // arrived suppresses a late Opt-delivery if the original multicast (or
+      // a fetched copy) shows up afterwards.
+      st->arrived = true;
+      st->opt_time = sim_.now();
+      ++stats_.recovery_tombstones;
+    }
     decided_queue_.pop_front();
     const TOIndex index = next_index_++;
     ++stats_.to_delivered;
@@ -215,11 +225,13 @@ void OptAbcast::crash_reset() {
   body_request_outstanding_ = false;
   body_request_attempts_ = 0;
   recovering_ = false;
+  durable_floor_ = 0;
   consensus_.crash_reset();
 }
 
-void OptAbcast::begin_recovery() {
+void OptAbcast::begin_recovery(TOIndex durable_floor) {
   recovering_ = true;
+  durable_floor_ = durable_floor;
   send_catch_up_request();
 }
 
@@ -266,6 +278,7 @@ void OptAbcast::deliver_fetched_body(const MsgId& id, PayloadPtr payload) {
   st.body = payload;
   st.opt_time = sim_.now();
   ++stats_.opt_delivered;
+  ++stats_.recovery_bodies_fetched;
   if (callbacks_.opt_deliver) {
     callbacks_.opt_deliver(Message{id, id.sender, kChannelData, std::move(payload)});
   }

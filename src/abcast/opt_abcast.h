@@ -91,8 +91,11 @@ class OptAbcast final : public AtomicBroadcast {
 
   /// Discards all volatile protocol state. Call while the site is down.
   void crash_reset();
-  /// Starts catch-up after the network reconnected this site.
-  void begin_recovery();
+  /// Starts catch-up after the network reconnected this site. A durable
+  /// restart passes its recovered floor: every TO-slot at or below it is
+  /// already committed on the replica's disk, so catch-up delivers those
+  /// slots as body-less tombstones instead of fetching the payloads.
+  void begin_recovery(TOIndex durable_floor = 0);
   /// True while catch-up is still in progress.
   bool recovering() const { return recovering_; }
 
@@ -138,6 +141,9 @@ class OptAbcast final : public AtomicBroadcast {
   std::uint64_t next_propose_ = 0;  // next stage this site will propose for
   bool stage_timer_armed_ = false;
   TOIndex next_index_ = 1;
+  /// TO-slots <= this are TO-delivered without a body during catch-up (the
+  /// replica restored them from its own durable log). 0 outside recovery.
+  TOIndex durable_floor_ = 0;
   AbcastStats stats_;
   std::vector<ToDelivery> drain_scratch_;  // reused burst buffer (drain_decided)
 

@@ -8,15 +8,16 @@
 namespace otpdb {
 
 ConservativeReplica::ConservativeReplica(Simulator& sim, AtomicBroadcast& abcast,
-                                         VersionedStore& store, const PartitionCatalog& catalog,
+                                         StorageBackend& storage, const PartitionCatalog& catalog,
                                          const ProcedureRegistry& registry, SiteId self)
     : sim_(sim),
       abcast_(abcast),
-      store_(store),
+      backend_(storage),
+      store_(storage.memory()),
       catalog_(catalog),
       registry_(registry),
       self_(self),
-      queries_(sim, store, catalog, metrics_) {
+      queries_(sim, store_, catalog, metrics_) {
   queues_.reserve(catalog.class_count());
   for (std::size_t c = 0; c < catalog.class_count(); ++c) {
     queues_.emplace_back(static_cast<ClassId>(c));
@@ -78,7 +79,14 @@ void ConservativeReplica::on_opt_deliver(const Message& msg) {
 }
 
 void ConservativeReplica::on_to_deliver(const MsgId& id, TOIndex index) {
-  TxnRecord* txn = txns_.lookup(id);
+  // Durable catch-up tombstone: the body was never resent because this
+  // site's rebuilt store already holds the commit (index <= durable floor).
+  TxnRecord* txn = txns_.lookup_if_present(id);
+  if (txn == nullptr) {
+    OTPDB_CHECK_MSG(index <= replay_floor_, "TO-delivery without prior Opt-delivery");
+    queries_.advance_to_index(index);
+    return;
+  }
   txn->to_index = index;
   to_deliver_one(txn);
 }
@@ -94,6 +102,21 @@ void ConservativeReplica::to_deliver_one(TxnRecord* txn) {
   const auto classes = txn->request->class_span();
   queries_.advance_to_index(txn->to_index);
   for (ClassId c : classes) queries_.note_to_delivered(c, txn->to_index);
+
+  // Crash-recovery replay: a TO-delivery at or below the covered classes'
+  // commit watermarks was committed before the crash - acknowledge without
+  // re-executing (its versions are already in the store). Nothing was
+  // enqueued yet: the conservative engine enters queues only at TO-delivery,
+  // and the replay runs in definitive order against empty queues.
+  if (txn->to_index <= queries_.last_committed(classes.front())) {
+#ifndef NDEBUG
+    for (ClassId c : classes) OTPDB_ASSERT(txn->to_index <= queries_.last_committed(c));
+#endif
+    --buffered_;
+    txns_.retire(txn);
+    return;
+  }
+
   metrics_.opt_to_gap_ns.add(static_cast<double>(txn->to_delivered_at - txn->opt_delivered_at));
   --buffered_;
   ++queued_;
@@ -165,7 +188,7 @@ void ConservativeReplica::on_complete(TxnRecord* txn) {
     record.reads = txn->last_reads;
   }
 
-  store_.commit(txn->tid, txn->to_index);
+  backend_.commit(txn->tid, txn->to_index, classes);
   for (ClassId c : classes) queues_[c].remove_head(txn);
   --queued_;
 
@@ -188,6 +211,27 @@ void ConservativeReplica::on_complete(TxnRecord* txn) {
   for (ClassId c : classes) queries_.note_committed(c, committed_index, /*wake=*/false);
   queries_.wake_waiters(committed_index);
   txns_.retire(txn);  // the record slot is recycled by the next acquire
+}
+
+void ConservativeReplica::crash_recover_reset() {
+  txns_.for_each_live([this](TxnRecord* txn) {
+    if (txn->running) sim_.cancel(txn->completion);
+  });
+  txns_.clear();
+  for (std::size_t c = 0; c < queues_.size(); ++c) {
+    queues_[c] = ClassQueue(static_cast<ClassId>(c));
+  }
+  buffered_ = 0;
+  queued_ = 0;
+  backend_.clear_provisional();
+  queries_.reset_volatile();
+}
+
+void ConservativeReplica::restart_from_disk(std::span<const TOIndex> class_watermarks,
+                                            TOIndex durable_floor) {
+  crash_recover_reset();  // volatile state is equally gone on a cold restart
+  queries_.restore_watermarks(class_watermarks);
+  replay_floor_ = durable_floor;
 }
 
 }  // namespace otpdb

@@ -22,6 +22,7 @@
 #include "core/txn_table.h"
 #include "db/partition.h"
 #include "db/procedures.h"
+#include "db/storage_backend.h"
 #include "db/versioned_store.h"
 #include "sim/simulator.h"
 
@@ -29,7 +30,7 @@ namespace otpdb {
 
 class ConservativeReplica final : public ReplicaBase {
  public:
-  ConservativeReplica(Simulator& sim, AtomicBroadcast& abcast, VersionedStore& store,
+  ConservativeReplica(Simulator& sim, AtomicBroadcast& abcast, StorageBackend& storage,
                       const PartitionCatalog& catalog, const ProcedureRegistry& registry,
                       SiteId self);
 
@@ -49,6 +50,16 @@ class ConservativeReplica final : public ReplicaBase {
 
   TOIndex last_to_index() const { return queries_.last_to_index(); }
 
+  /// Crash recovery: drops all volatile state (buffered bodies, queues,
+  /// scheduled completions, provisional writes). Committed versions and the
+  /// per-class commit watermarks survive; replayed TO-deliveries at or below
+  /// a class watermark are acknowledged without re-execution.
+  void crash_recover_reset() override;
+
+  /// Cold restart over the durable tier (see ReplicaBase).
+  void restart_from_disk(std::span<const TOIndex> class_watermarks,
+                         TOIndex durable_floor) override;
+
  private:
   /// Builds and TO-broadcasts a request. `classes` is empty for single-class
   /// submissions, the normalized set (and klass its first element) otherwise.
@@ -66,10 +77,12 @@ class ConservativeReplica final : public ReplicaBase {
 
   Simulator& sim_;
   AtomicBroadcast& abcast_;
-  VersionedStore& store_;
+  StorageBackend& backend_;
+  VersionedStore& store_;  // backend_.memory(): reads + provisional writes
   const PartitionCatalog& catalog_;
   const ProcedureRegistry& registry_;
   SiteId self_;
+  TOIndex replay_floor_ = 0;  ///< tombstone ceiling during cold-restart catch-up
 
   std::vector<ClassQueue> queues_;
   TxnTable txns_;

@@ -24,12 +24,13 @@ struct LazyApply final : Payload {
 
 }  // namespace
 
-LazyReplica::LazyReplica(Simulator& sim, Network& net, VersionedStore& store,
+LazyReplica::LazyReplica(Simulator& sim, Network& net, StorageBackend& storage,
                          const PartitionCatalog& catalog, const ProcedureRegistry& registry,
                          SiteId self)
     : sim_(sim),
       net_(net),
-      store_(store),
+      backend_(storage),
+      store_(storage.memory()),
       catalog_(catalog),
       registry_(registry),
       self_(self),
@@ -95,7 +96,10 @@ void LazyReplica::on_complete(ClassId klass) {
   }
   std::vector<std::pair<ObjectId, Value>> record_writes;
   if (commit_hook_) record_writes.assign(writes.begin(), writes.end());
-  store_.commit(txn.tid, index);
+  // Site-local version stamps are still monotone per class, so the durable
+  // backend's per-class watermark protocol holds (it just isn't a cross-site
+  // total order - same caveat as the in-memory chains).
+  backend_.commit(txn.tid, index, std::span<const ClassId>(&klass, 1));
   interner_.release(txn.tid);
 
   ++metrics_.committed;
@@ -150,7 +154,8 @@ void LazyReplica::on_apply(const Message& msg) {
   }
   if (installed_any) {
     const TOIndex index = next_local_index_++;
-    store_.commit(stid, index);
+    const ClassId klass = apply->klass;
+    backend_.commit(stid, index, std::span<const ClassId>(&klass, 1));
     if (commit_hook_) {
       CommitRecord record;
       record.site = self_;

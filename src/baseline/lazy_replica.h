@@ -22,6 +22,7 @@
 #include "core/txn.h"
 #include "db/partition.h"
 #include "db/procedures.h"
+#include "db/storage_backend.h"
 #include "db/txn_interner.h"
 #include "db/versioned_store.h"
 #include "net/network.h"
@@ -31,7 +32,7 @@ namespace otpdb {
 
 class LazyReplica final : public ReplicaBase {
  public:
-  LazyReplica(Simulator& sim, Network& net, VersionedStore& store,
+  LazyReplica(Simulator& sim, Network& net, StorageBackend& storage,
               const PartitionCatalog& catalog, const ProcedureRegistry& registry, SiteId self);
 
   void submit_update(ProcId proc, ClassId klass, TxnArgs args, SimTime exec_duration) override;
@@ -80,7 +81,8 @@ class LazyReplica final : public ReplicaBase {
 
   Simulator& sim_;
   Network& net_;
-  VersionedStore& store_;
+  StorageBackend& backend_;
+  VersionedStore& store_;  // backend_.memory(): reads + provisional writes
   const PartitionCatalog& catalog_;
   const ProcedureRegistry& registry_;
   SiteId self_;

@@ -1,5 +1,8 @@
 #include "core/cluster.h"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <utility>
 
 #include "util/assert.h"
@@ -8,7 +11,7 @@ namespace otpdb {
 
 Cluster::Cluster(ClusterConfig config)
     : Cluster(std::move(config), [](const ReplicaDeps& deps) {
-        return std::make_unique<OtpReplica>(deps.sim, deps.abcast, deps.store, deps.catalog,
+        return std::make_unique<OtpReplica>(deps.sim, deps.abcast, deps.storage, deps.catalog,
                                             deps.registry, deps.site);
       }) {}
 
@@ -19,8 +22,33 @@ Cluster::Cluster(ClusterConfig config, ReplicaFactory factory)
   build(std::move(factory));
 }
 
+Cluster::~Cluster() {
+  // Replicas and backends hold data-dir file handles; drop them before
+  // removing a cluster-owned temp directory.
+  replicas_.clear();
+  backends_.clear();
+  if (owns_data_root_) {
+    std::error_code ec;
+    std::filesystem::remove_all(data_root_, ec);
+  }
+}
+
 void Cluster::build(ReplicaFactory factory) {
   OTPDB_CHECK(config_.n_sites >= 1);
+  if (config_.storage.backend == StorageBackendKind::durable) {
+    if (config_.storage.data_dir.empty()) {
+      static std::atomic<std::uint64_t> counter{0};
+      data_root_ = std::filesystem::temp_directory_path() /
+                   ("otpdb-" + std::to_string(::getpid()) + "-" +
+                    std::to_string(counter.fetch_add(1)));
+      owns_data_root_ = true;
+    } else {
+      data_root_ = config_.storage.data_dir;
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(data_root_, ec);
+    OTPDB_CHECK_MSG(!ec, "cannot create the cluster data directory");
+  }
   if (config_.parallel.sharded()) {
     engine_ = std::make_unique<ShardedEngine>(config_.n_sites, config_.parallel);
   }
@@ -45,11 +73,15 @@ void Cluster::build(ReplicaFactory factory) {
         break;
     }
     // Dense object index covering the catalog's whole contiguous id space.
-    stores_.push_back(std::make_unique<VersionedStore>(catalog_.object_count()));
+    // Durable backends schedule their flush/checkpoint events on the site's
+    // own shard, keeping the sharded engine's phase confinement intact.
+    backends_.push_back(make_storage_backend(config_.storage, site_sim(s), s,
+                                             config_.n_classes, catalog_.object_count(),
+                                             data_root_));
   }
   for (SiteId s = 0; s < config_.n_sites; ++s) {
     replicas_.push_back(factory(
-        ReplicaDeps{site_sim(s), *net_, *abcasts_[s], *stores_[s], catalog_, registry_, s}));
+        ReplicaDeps{site_sim(s), *net_, *abcasts_[s], *backends_[s], catalog_, registry_, s}));
     OTPDB_CHECK(replicas_.back() != nullptr);
   }
   if (config_.enable_failure_detector) {
@@ -63,18 +95,28 @@ OtpReplica* Cluster::otp(SiteId site) {
 
 void Cluster::recover_site(SiteId site) {
   OTPDB_CHECK(site < config_.n_sites);
-  auto* replica = otp(site);
   auto* abcast = dynamic_cast<OptAbcast*>(abcasts_[site].get());
-  OTPDB_CHECK_MSG(replica != nullptr && abcast != nullptr,
-                  "recovery requires the OTP engine over the optimistic broadcast");
-  replica->crash_recover_reset();
+  OTPDB_CHECK_MSG(abcast != nullptr, "recovery requires the optimistic broadcast");
+  replicas_[site]->crash_recover_reset();
+  backends_[site]->reopen();
   abcast->crash_reset();
   net_->recover(site);
   abcast->begin_recovery();
 }
 
+void Cluster::restart_site_from_disk(SiteId site) {
+  OTPDB_CHECK(site < config_.n_sites);
+  auto* abcast = dynamic_cast<OptAbcast*>(abcasts_[site].get());
+  OTPDB_CHECK_MSG(abcast != nullptr, "recovery requires the optimistic broadcast");
+  const RecoveredState recovered = backends_[site]->restart_from_disk();
+  replicas_[site]->restart_from_disk(recovered.class_watermarks, recovered.durable_floor);
+  abcast->crash_reset();
+  net_->recover(site);
+  abcast->begin_recovery(recovered.durable_floor);
+}
+
 void Cluster::load_everywhere(ObjectId obj, Value value) {
-  for (auto& store : stores_) store->load(obj, value);
+  for (auto& backend : backends_) backend->load(obj, value);
 }
 
 bool Cluster::quiesce(SimTime deadline_span) {

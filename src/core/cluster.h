@@ -8,6 +8,7 @@
 // engines over an identical substrate.
 #pragma once
 
+#include <filesystem>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "core/replica_base.h"
 #include "db/partition.h"
 #include "db/procedures.h"
+#include "db/storage_backend.h"
 #include "db/versioned_store.h"
 #include "net/network.h"
 #include "sim/sharded_engine.h"
@@ -44,6 +46,10 @@ struct ClusterConfig {
 
   OtpReplicaConfig otp;
 
+  /// Per-cluster storage tier: in-memory (default, the pre-durability
+  /// behavior) or the group-commit WAL backend (db/durable_store.h).
+  StorageConfig storage;
+
   /// Driver selection: threads == 1 (default) runs the classic single-queue
   /// loop; threads >= 2 (or force_sharded) runs the site-sharded engine with
   /// conservative lookahead windows (see sim/sharded_engine.h). All sharded
@@ -57,7 +63,7 @@ struct ReplicaDeps {
   Simulator& sim;
   Network& net;
   AtomicBroadcast& abcast;
-  VersionedStore& store;
+  StorageBackend& storage;
   const PartitionCatalog& catalog;
   const ProcedureRegistry& registry;
   SiteId site;
@@ -71,6 +77,9 @@ class Cluster {
   explicit Cluster(ClusterConfig config);
   /// Builds the cluster with a custom engine factory.
   Cluster(ClusterConfig config, ReplicaFactory factory);
+  /// Tears down replicas and backends, then removes the data directory if
+  /// the cluster created it (temp-dir default for durable runs).
+  ~Cluster();
 
   /// The control clock: the single simulator in classic mode, the network
   /// hub shard in sharded mode. Schedule chaos injection and client
@@ -93,7 +102,10 @@ class Cluster {
 
   std::size_t site_count() const { return config_.n_sites; }
   ReplicaBase& replica(SiteId site) { return *replicas_[site]; }
-  VersionedStore& store(SiteId site) { return *stores_[site]; }
+  VersionedStore& store(SiteId site) { return backends_[site]->memory(); }
+  StorageBackend& storage(SiteId site) { return *backends_[site]; }
+  /// Durability counters for `site`, or nullptr with the memory backend.
+  const WalStats* wal_stats(SiteId site) const { return backends_[site]->wal_stats(); }
   AtomicBroadcast& abcast(SiteId site) { return *abcasts_[site]; }
   FailureDetector& failure_detector(SiteId site) { return *fds_[site]; }
 
@@ -113,14 +125,24 @@ class Cluster {
   }
 
   /// Crashes a site: it stops sending and receiving; its volatile replica and
-  /// protocol state is considered lost (cleared on recovery).
-  void crash_site(SiteId site) { net_->crash(site); }
+  /// protocol state is considered lost (cleared on recovery). The storage
+  /// backend stops producing I/O until recovery.
+  void crash_site(SiteId site) {
+    net_->crash(site);
+    backends_[site]->crash();
+  }
 
   /// Recovers a crashed site (paper model: sites always recover). Clears the
   /// volatile state, reconnects the network, and starts redo catch-up from
-  /// the peers' decision logs. Requires the OTP engine over the optimistic
-  /// broadcast (the sequencer protocol has no recovery path).
+  /// the peers' decision logs. Requires recovery support in the engine over
+  /// the optimistic broadcast (the sequencer protocol has no recovery path).
   void recover_site(SiteId site);
+
+  /// Cold-restarts a crashed durable site: RAM is lost, the store is rebuilt
+  /// in place from its own checkpoint + WAL, and peer catch-up resends only
+  /// the tail beyond the durable watermark (everything at or below it is
+  /// TO-delivered as a body-less tombstone). Requires the durable backend.
+  void restart_site_from_disk(SiteId site);
 
   /// Runs until every replica reports zero in-flight work or `deadline_span`
   /// elapses. Returns true if the cluster quiesced.
@@ -146,8 +168,10 @@ class Cluster {
   std::unique_ptr<Network> net_;
   std::vector<std::unique_ptr<FailureDetector>> fds_;
   std::vector<std::unique_ptr<AtomicBroadcast>> abcasts_;
-  std::vector<std::unique_ptr<VersionedStore>> stores_;
+  std::vector<std::unique_ptr<StorageBackend>> backends_;
   std::vector<std::unique_ptr<ReplicaBase>> replicas_;
+  std::filesystem::path data_root_;  ///< durable-backend root (one dir per site)
+  bool owns_data_root_ = false;      ///< cluster created it -> cluster removes it
 };
 
 }  // namespace otpdb

@@ -23,18 +23,19 @@ AccessSetExtractor rmw_access_extractor(const PartitionCatalog& catalog) {
 }
 
 LockTableReplica::LockTableReplica(Simulator& sim, AtomicBroadcast& abcast,
-                                   VersionedStore& store, const PartitionCatalog& catalog,
+                                   StorageBackend& storage, const PartitionCatalog& catalog,
                                    const ProcedureRegistry& registry, SiteId self,
                                    AccessSetExtractor extractor)
     : sim_(sim),
       abcast_(abcast),
-      store_(store),
+      backend_(storage),
+      store_(storage.memory()),
       catalog_(catalog),
       registry_(registry),
       self_(self),
       extractor_(std::move(extractor)),
       queues_(catalog.object_count()),
-      queries_(sim, store, catalog.object_count(),
+      queries_(sim, store_, catalog.object_count(),
                [](ObjectId obj) { return QueryEngine::Domain{obj}; }, metrics_) {
   OTPDB_CHECK(extractor_ != nullptr);
   abcast_.set_callbacks(AbcastCallbacks{
@@ -214,7 +215,7 @@ void LockTableReplica::abort_transaction(TxnRecord* txn) {
     sim_.cancel(txn->completion);
     txn->running = false;
   }
-  store_.abort(txn->tid);
+  backend_.abort(txn->tid);
   txn->exec = ExecState::active;
   ++metrics_.aborts;
 }
@@ -243,7 +244,8 @@ void LockTableReplica::commit(TxnRecord* txn) {
     record.reads = txn->last_reads;
   }
 
-  store_.commit(txn->tid, txn->to_index);
+  backend_.commit(txn->tid, txn->to_index,
+                  std::span<const ClassId>(&txn->request->klass, 1));
   const std::vector<ObjectId> objects = txn->request->access_set;
   for (ObjectId obj : objects) {
     ObjectQueue& queue = queues_[obj];

@@ -41,6 +41,7 @@
 #include "core/txn_table.h"
 #include "db/partition.h"
 #include "db/procedures.h"
+#include "db/storage_backend.h"
 #include "db/versioned_store.h"
 #include "sim/simulator.h"
 
@@ -56,7 +57,7 @@ AccessSetExtractor rmw_access_extractor(const PartitionCatalog& catalog);
 
 class LockTableReplica final : public ReplicaBase {
  public:
-  LockTableReplica(Simulator& sim, AtomicBroadcast& abcast, VersionedStore& store,
+  LockTableReplica(Simulator& sim, AtomicBroadcast& abcast, StorageBackend& storage,
                    const PartitionCatalog& catalog, const ProcedureRegistry& registry,
                    SiteId self, AccessSetExtractor extractor);
 
@@ -108,7 +109,8 @@ class LockTableReplica final : public ReplicaBase {
 
   Simulator& sim_;
   AtomicBroadcast& abcast_;
-  VersionedStore& store_;
+  StorageBackend& backend_;
+  VersionedStore& store_;  // backend_.memory(): reads + provisional writes
   const PartitionCatalog& catalog_;
   const ProcedureRegistry& registry_;
   SiteId self_;

@@ -8,17 +8,18 @@
 
 namespace otpdb {
 
-OtpReplica::OtpReplica(Simulator& sim, AtomicBroadcast& abcast, VersionedStore& store,
+OtpReplica::OtpReplica(Simulator& sim, AtomicBroadcast& abcast, StorageBackend& storage,
                        const PartitionCatalog& catalog, const ProcedureRegistry& registry,
                        SiteId self, OtpReplicaConfig config)
     : sim_(sim),
       abcast_(abcast),
-      store_(store),
+      backend_(storage),
+      store_(storage.memory()),
       catalog_(catalog),
       registry_(registry),
       self_(self),
       config_(config),
-      queries_(sim, store, catalog, metrics_) {
+      queries_(sim, store_, catalog, metrics_) {
   queues_.reserve(catalog.class_count());
   for (std::size_t c = 0; c < catalog.class_count(); ++c) {
     queues_.emplace_back(static_cast<ClassId>(c));
@@ -111,7 +112,15 @@ void OtpReplica::execution_module(TxnRecord* txn) {
 // ---------------------------------------------------------------------------
 
 void OtpReplica::on_to_deliver(const MsgId& id, TOIndex index) {
-  TxnRecord* txn = txns_.lookup(id);  // CC1: Local Order guarantees the binding
+  // CC1: Local Order guarantees Opt-deliver precedes TO-deliver - except for
+  // durable catch-up tombstones, which skip the body entirely because this
+  // site already holds the commit's versions from its own checkpoint + WAL.
+  TxnRecord* txn = txns_.lookup_if_present(id);
+  if (txn == nullptr) {
+    OTPDB_CHECK_MSG(index <= replay_floor_, "TO-delivery without prior Opt-delivery");
+    queries_.advance_to_index(index);
+    return;
+  }
   txn->to_index = index;
   to_deliver_one(txn);
 }
@@ -145,7 +154,7 @@ void OtpReplica::to_deliver_one(TxnRecord* txn) {
       sim_.cancel(txn->completion);
       txn->running = false;
     }
-    store_.abort(txn->tid);  // drop any provisional re-execution of replayed work
+    backend_.abort(txn->tid);  // drop any provisional re-execution of replayed work
     for (ClassId c : classes) {
       ClassQueue& queue = queues_[c];
       TxnRecord* head = queue.head();
@@ -180,8 +189,15 @@ void OtpReplica::crash_recover_reset() {
   for (std::size_t c = 0; c < queues_.size(); ++c) {
     queues_[c] = ClassQueue(static_cast<ClassId>(c));
   }
-  store_.clear_provisional();
+  backend_.clear_provisional();
   queries_.reset_volatile();
+}
+
+void OtpReplica::restart_from_disk(std::span<const TOIndex> class_watermarks,
+                                   TOIndex durable_floor) {
+  crash_recover_reset();  // volatile state is equally gone on a cold restart
+  queries_.restore_watermarks(class_watermarks);
+  replay_floor_ = durable_floor;
 }
 
 void OtpReplica::correctness_check_module(TxnRecord* txn) {
@@ -269,7 +285,7 @@ void OtpReplica::abort_transaction(TxnRecord* txn) {
     sim_.cancel(txn->completion);
     txn->running = false;
   }
-  store_.abort(txn->tid);  // undo provisional effects
+  backend_.abort(txn->tid);  // undo provisional effects
   txn->exec = ExecState::active;
   ++metrics_.aborts;
   OTPDB_TRACE("otp") << "site " << self_ << " aborts txn (" << txn->id.sender << ","
@@ -300,7 +316,7 @@ void OtpReplica::commit(TxnRecord* txn) {
     record.reads = txn->last_reads;
   }
 
-  store_.commit(txn->tid, txn->to_index);
+  backend_.commit(txn->tid, txn->to_index, classes);
   for (ClassId c : classes) queues_[c].remove_head(txn);
 
   ++metrics_.committed;

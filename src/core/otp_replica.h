@@ -54,6 +54,7 @@
 #include "core/txn_table.h"
 #include "db/partition.h"
 #include "db/procedures.h"
+#include "db/storage_backend.h"
 #include "db/versioned_store.h"
 #include "sim/simulator.h"
 #include "sim/timer_wheel.h"
@@ -74,7 +75,7 @@ struct OtpReplicaConfig {
 
 class OtpReplica final : public ReplicaBase {
  public:
-  OtpReplica(Simulator& sim, AtomicBroadcast& abcast, VersionedStore& store,
+  OtpReplica(Simulator& sim, AtomicBroadcast& abcast, StorageBackend& storage,
              const PartitionCatalog& catalog, const ProcedureRegistry& registry, SiteId self,
              OtpReplicaConfig config = {});
 
@@ -123,7 +124,14 @@ class OtpReplica final : public ReplicaBase {
   /// TO-delivery history). Committed versions and the per-class commit
   /// watermarks survive; during the redo replay, TO-deliveries at or below a
   /// class watermark are acknowledged without re-execution.
-  void crash_recover_reset();
+  void crash_recover_reset() override;
+
+  /// Cold restart over the durable tier: the store was already rebuilt from
+  /// checkpoint + WAL; this winds the query watermarks back to the durable
+  /// marks and accepts body-less TO-delivery tombstones up to `durable_floor`
+  /// during catch-up.
+  void restart_from_disk(std::span<const TOIndex> class_watermarks,
+                         TOIndex durable_floor) override;
 
  private:
   // -- Figure 4: serialization module ---------------------------------------
@@ -158,11 +166,15 @@ class OtpReplica final : public ReplicaBase {
 
   Simulator& sim_;
   AtomicBroadcast& abcast_;
-  VersionedStore& store_;
+  StorageBackend& backend_;
+  VersionedStore& store_;  // backend_.memory(): reads + provisional writes
   const PartitionCatalog& catalog_;
   const ProcedureRegistry& registry_;
   SiteId self_;
   OtpReplicaConfig config_;
+  /// Commits at or below this index arrive as body-less tombstones during a
+  /// cold-restart catch-up (they are already applied from disk).
+  TOIndex replay_floor_ = 0;
 
   std::vector<ClassQueue> queues_;
   TxnTable txns_;

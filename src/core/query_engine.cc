@@ -19,7 +19,8 @@ QueryEngine::QueryEngine(Simulator& sim, const VersionedStore& store, std::size_
       domain_of_(std::move(domain_of)),
       metrics_(metrics),
       to_history_(domain_count),
-      last_committed_(domain_count, 0) {}
+      last_committed_(domain_count, 0),
+      restored_floor_(domain_count, 0) {}
 
 QueryEngine::QuerySlot QueryEngine::acquire_slot() {
   if (!free_slots_.empty()) {
@@ -90,6 +91,13 @@ void QueryEngine::reset_volatile() {
   active_snapshots_.clear();
 }
 
+void QueryEngine::restore_watermarks(std::span<const TOIndex> per_domain) {
+  for (std::size_t d = 0; d < last_committed_.size(); ++d) {
+    last_committed_[d] = d < per_domain.size() ? per_domain[d] : 0;
+    restored_floor_[d] = last_committed_[d];
+  }
+}
+
 TOIndex QueryEngine::gc_horizon() const {
   // The oldest snapshot still readable is q_min = min(active, last_to_index);
   // a read at q_min needs the newest version with index <= q_min, which
@@ -104,7 +112,14 @@ TOIndex QueryEngine::gc_horizon() const {
 TOIndex QueryEngine::snapshot_bound(Domain domain, TOIndex snapshot) const {
   const auto& history = to_history_[domain];
   auto it = std::upper_bound(history.begin(), history.end(), snapshot);
-  return it == history.begin() ? 0 : *std::prev(it);
+  const TOIndex from_history = it == history.begin() ? 0 : *std::prev(it);
+  // After a cold restart, indices at or below the restored watermark were
+  // TO-delivered as body-less tombstones and never entered the history, but
+  // their versions were rebuilt from checkpoint + WAL, so the watermark is an
+  // equally valid lower bound on the snapshot's youngest covering
+  // transaction. restored_floor_ is 0 outside durable restarts, making this
+  // exactly the pre-storage-tier bound in normal operation.
+  return std::max(from_history, std::min(snapshot, restored_floor_[domain]));
 }
 
 Value QueryEngine::read(ObjectId obj, TOIndex snapshot) const {

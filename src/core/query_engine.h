@@ -16,6 +16,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/metrics.h"
@@ -78,6 +79,12 @@ class QueryEngine {
   /// watermarks. The history is rebuilt by the redo replay.
   void reset_volatile();
 
+  /// Cold restart: overwrites the per-domain commit watermarks with the
+  /// durable tier's recovered marks (possibly LOWER than before the crash -
+  /// the unflushed group-commit tail died with RAM). Domains beyond the span
+  /// reset to 0. Call after reset_volatile().
+  void restore_watermarks(std::span<const TOIndex> per_domain);
+
   /// The oldest version index any present or future snapshot read can still
   /// require: min(active query snapshots, last_to_index). Safe argument for
   /// VersionedStore::prune (versions strictly older than the horizon are
@@ -118,6 +125,9 @@ class QueryEngine {
 
   std::vector<std::vector<TOIndex>> to_history_;  // per domain, ascending
   std::vector<TOIndex> last_committed_;           // per domain
+  /// Per-domain floor set by a cold restart: indices <= it were restored from
+  /// disk without re-entering to_history_. 0 everywhere in normal operation.
+  std::vector<TOIndex> restored_floor_;
   TOIndex last_to_index_ = 0;
   std::vector<RunningQuery> pool_;       // slot-indexed, recycled
   std::vector<QuerySlot> free_slots_;

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "core/metrics.h"
@@ -12,6 +13,7 @@
 #include "core/txn.h"
 #include "db/procedures.h"
 #include "sim/simulator.h"
+#include "util/assert.h"
 #include "util/types.h"
 
 namespace otpdb {
@@ -50,6 +52,27 @@ class ReplicaBase {
 
   virtual const ReplicaMetrics& metrics() const = 0;
   virtual SiteId site() const = 0;
+
+  /// Warm crash recovery: RAM intact at the engine level is NOT assumed -
+  /// all volatile replica state (queues, in-flight transactions, provisional
+  /// writes) is discarded; committed store state and query watermarks
+  /// survive. Engines without a recovery path CHECK-fail.
+  virtual void crash_recover_reset() {
+    OTPDB_CHECK_MSG(false, "this engine has no crash recovery path");
+  }
+
+  /// Cold restart from the durable tier: the store was rebuilt from
+  /// checkpoint + WAL and the query watermarks must be wound back to the
+  /// per-class durable marks (possibly LOWER than before the crash - the
+  /// unflushed tail died with RAM). Commits at or below `durable_floor` will
+  /// be TO-delivered as body-less tombstones during catch-up and must be
+  /// acknowledged without re-execution.
+  virtual void restart_from_disk(std::span<const TOIndex> class_watermarks,
+                                 TOIndex durable_floor) {
+    (void)class_watermarks;
+    (void)durable_floor;
+    OTPDB_CHECK_MSG(false, "this engine has no durable restart path");
+  }
 };
 
 }  // namespace otpdb

@@ -38,6 +38,15 @@ class TxnTable {
     return records_[tid].get();
   }
 
+  /// The live record bound to `id`, or nullptr when absent. Only the durable
+  /// catch-up path may observe an absent binding: a commit at or below the
+  /// restarting site's durable floor is TO-delivered as a body-less
+  /// tombstone, so it was never Opt-delivered (and never interned).
+  TxnRecord* lookup_if_present(const MsgId& id) {
+    const TxnId tid = interner_.find(id);
+    return tid == kInvalidTxnId ? nullptr : records_[tid].get();
+  }
+
   /// Releases a finished transaction's dense id. The record's memory stays in
   /// place for recycling; the payload reference is dropped now.
   void retire(TxnRecord* txn) {

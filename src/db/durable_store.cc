@@ -1,0 +1,277 @@
+#include "db/durable_store.h"
+
+#include <algorithm>
+#include <charconv>
+
+namespace otpdb {
+namespace {
+
+constexpr const char* kCheckpointFile = "checkpoint.bin";
+
+/// Parses the <seq> out of "wal-<seq>.log"; 0 when the name doesn't match.
+std::uint64_t parse_segment_seq(const std::string& name) {
+  if (name.size() < 9 || name.rfind("wal-", 0) != 0 ||
+      name.compare(name.size() - 4, 4, ".log") != 0) {
+    return 0;
+  }
+  std::uint64_t seq = 0;
+  const char* first = name.data() + 4;
+  const char* last = name.data() + name.size() - 4;
+  auto [ptr, ec] = std::from_chars(first, last, seq);
+  return (ec == std::errc() && ptr == last) ? seq : 0;
+}
+
+}  // namespace
+
+DurableStore::DurableStore(Simulator& sim, const StorageConfig& config,
+                           std::filesystem::path dir, std::size_t n_classes,
+                           std::uint64_t dense_objects)
+    : StorageBackend(dense_objects),
+      sim_(sim),
+      config_(config),
+      dir_(std::move(dir)),
+      pending_watermark_(n_classes, 0),
+      durable_watermark_(n_classes, 0) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  OTPDB_CHECK_MSG(!ec, "cannot create the durable data directory");
+  active_seq_ = 1;
+  OTPDB_CHECK_MSG(writer_.open(segment_path(active_seq_)), "cannot open the WAL segment");
+}
+
+DurableStore::~DurableStore() = default;
+
+std::filesystem::path DurableStore::segment_path(std::uint64_t seq) const {
+  return dir_ / wal::segment_name(seq);
+}
+
+void DurableStore::load(ObjectId obj, Value value) {
+  wal::append_load(pending_, obj, value);
+  store_.load(obj, std::move(value));
+  schedule_flush();
+}
+
+void DurableStore::commit(TxnId txn, TOIndex index, std::span<const ClassId> classes) {
+  // Encode from the provisional write-set BEFORE the in-memory commit
+  // consumes it. The span is already sorted by object, so the record bytes
+  // are identical at every site.
+  wal::append_commit(pending_, index, classes, store_.provisional_writes(txn));
+  ++pending_count_;
+  ++stats_.commits_logged;
+  // max(), not plain assignment: the class-queue engines commit a class's
+  // transactions in ascending definitive order, but the lock-table engine
+  // serializes per object, so same-class commits may interleave.
+  for (ClassId c : classes) {
+    if (c < pending_watermark_.size()) {
+      pending_watermark_[c] = std::max(pending_watermark_[c], index);
+    }
+  }
+  pending_max_index_ = std::max(pending_max_index_, index);
+  store_.commit(txn, index);
+  schedule_flush();
+  schedule_checkpoint();
+}
+
+void DurableStore::schedule_flush() {
+  if (flush_scheduled_ || down_) return;
+  flush_scheduled_ = true;
+  const SimTime at = std::max(sim_.now() + config_.flush_window, next_flush_allowed_);
+  flush_event_ = sim_.schedule_at(at, [this] {
+    flush_scheduled_ = false;
+    flush();
+  });
+}
+
+void DurableStore::flush_now() {
+  if (flush_scheduled_) {
+    sim_.cancel(flush_event_);
+    flush_scheduled_ = false;
+  }
+  flush();
+}
+
+void DurableStore::flush() {
+  if (down_ || pending_.empty()) return;  // crashed: the unflushed tail waits (or dies)
+  OTPDB_CHECK_MSG(writer_.append_and_sync(pending_.data(), pending_.size()),
+                  "WAL append failed");
+  ++stats_.fsyncs;
+  stats_.wal_bytes += pending_.size();
+  if (pending_count_ > 0) stats_.group_commit_batch.add(static_cast<double>(pending_count_));
+  durable_watermark_ = pending_watermark_;
+  durable_max_index_ = std::max(durable_max_index_, pending_max_index_);
+  active_max_index_ = std::max(active_max_index_, pending_max_index_);
+  pending_.clear();
+  pending_count_ = 0;
+  pending_max_index_ = 0;
+  next_flush_allowed_ = sim_.now() + config_.fsync_latency;
+  if (writer_.size() >= config_.segment_bytes) roll_segment();
+}
+
+void DurableStore::roll_segment() {
+  sealed_.push_back(SealedSegment{active_seq_, active_max_index_});
+  writer_.close();
+  ++active_seq_;
+  active_max_index_ = 0;
+  OTPDB_CHECK_MSG(writer_.open(segment_path(active_seq_)), "cannot open the WAL segment");
+}
+
+void DurableStore::schedule_checkpoint() {
+  if (checkpoint_scheduled_ || down_) return;
+  checkpoint_scheduled_ = true;
+  checkpoint_event_ = sim_.schedule_after(config_.checkpoint_interval, [this] {
+    checkpoint_scheduled_ = false;
+    if (down_) return;  // the next commit after reopen() reschedules
+    do_checkpoint();
+  });
+}
+
+void DurableStore::do_checkpoint() {
+  // The snapshot must cover exactly the durable watermarks, so everything
+  // buffered goes to disk first.
+  flush_now();
+
+  wal::CheckpointData data;
+  data.class_watermarks = durable_watermark_;
+  data.max_index = durable_max_index_;
+  store_.for_each_chain([&](ObjectId obj, std::span<const VersionedStore::Version> chain) {
+    std::vector<std::pair<TOIndex, Value>> versions;
+    versions.reserve(chain.size());
+    for (const auto& v : chain) versions.emplace_back(v.index, v.value);
+    data.chains.emplace_back(obj, std::move(versions));
+  });
+  OTPDB_CHECK_MSG(wal::write_checkpoint(dir_ / kCheckpointFile, data),
+                  "checkpoint write failed");
+  ++stats_.checkpoints;
+
+  // Seal the active segment so truncation below the new floor can consider
+  // everything written so far.
+  roll_segment();
+  TOIndex floor = durable_max_index_;
+  for (TOIndex w : durable_watermark_) floor = std::min(floor, w);
+  truncate_below(floor);
+}
+
+void DurableStore::truncate_below(TOIndex floor) {
+  auto it = sealed_.begin();
+  while (it != sealed_.end()) {
+    if (it->max_index <= floor) {
+      std::error_code ec;
+      std::filesystem::remove(segment_path(it->seq), ec);
+      ++stats_.segments_truncated;
+      it = sealed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DurableStore::crash() {
+  // Flag only - no cross-shard event surgery. A flush or checkpoint event
+  // that fires during the outage sees down_ and keeps its hands off; the
+  // pending buffer stays in (simulated) RAM for a warm reopen() and is
+  // dropped by a cold restart_from_disk().
+  down_ = true;
+}
+
+void DurableStore::reopen() {
+  down_ = false;
+  if (!pending_.empty()) schedule_flush();
+}
+
+RecoveredState DurableStore::restart_from_disk() {
+  down_ = false;
+  // RAM is gone: the unflushed tail and the in-memory chains are lost.
+  pending_.clear();
+  pending_count_ = 0;
+  pending_max_index_ = 0;
+  if (flush_scheduled_) {
+    sim_.cancel(flush_event_);
+    flush_scheduled_ = false;
+  }
+  if (checkpoint_scheduled_) {
+    sim_.cancel(checkpoint_event_);
+    checkpoint_scheduled_ = false;
+  }
+  writer_.close();
+  store_.reset_in_place();
+  sealed_.clear();
+  active_max_index_ = 0;
+  const std::size_t n_classes = durable_watermark_.size();
+  std::vector<TOIndex> watermarks(n_classes, 0);
+  TOIndex max_index = 0;
+
+  wal::CheckpointData ckpt;
+  if (wal::read_checkpoint(dir_ / kCheckpointFile, ckpt)) {
+    ++stats_.checkpoint_restores;
+    for (const auto& [obj, versions] : ckpt.chains) {
+      for (const auto& [index, value] : versions) store_.install_version(obj, index, value);
+    }
+    for (std::size_t c = 0; c < std::min(n_classes, ckpt.class_watermarks.size()); ++c) {
+      watermarks[c] = ckpt.class_watermarks[c];
+    }
+    max_index = ckpt.max_index;
+  }
+  const std::vector<TOIndex> ckpt_watermarks = watermarks;
+
+  // Replay segments in sequence order. The scan stops at the first torn or
+  // corrupt frame; from that point on NOTHING later may be applied (later
+  // segments would leave a hole in the definitive order), so the bad tail is
+  // cut off and all later segments are deleted.
+  std::vector<std::uint64_t> seqs;
+  {
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+      const std::uint64_t seq = parse_segment_seq(entry.path().filename().string());
+      if (seq > 0) seqs.push_back(seq);
+    }
+  }
+  std::sort(seqs.begin(), seqs.end());
+
+  wal::ScanCallbacks callbacks;
+  callbacks.on_load = [&](const wal::LoadRecord& rec) {
+    store_.install_version(rec.object, 0, rec.value);
+  };
+  callbacks.on_commit = [&](const wal::CommitRecord& rec) {
+    for (const auto& [obj, value] : rec.writes) store_.install_version(obj, rec.index, value);
+    bool beyond_checkpoint = false;
+    for (ClassId c : rec.classes) {
+      if (c >= n_classes) continue;
+      if (rec.index > ckpt_watermarks[c]) beyond_checkpoint = true;
+      watermarks[c] = std::max(watermarks[c], rec.index);
+    }
+    max_index = std::max(max_index, rec.index);
+    if (beyond_checkpoint) ++stats_.replayed_commits;
+  };
+
+  std::uint64_t last_seq = 0;
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    const std::uint64_t seq = seqs[i];
+    const wal::ScanResult scan = wal::scan_segment(segment_path(seq), callbacks);
+    last_seq = seq;
+    sealed_.push_back(SealedSegment{seq, scan.max_index});
+    if (!scan.clean) {
+      wal::truncate_file(segment_path(seq), scan.valid_bytes);
+      for (std::size_t j = i + 1; j < seqs.size(); ++j) {
+        std::error_code ec;
+        std::filesystem::remove(segment_path(seqs[j]), ec);
+      }
+      break;
+    }
+  }
+
+  active_seq_ = last_seq + 1;
+  OTPDB_CHECK_MSG(writer_.open(segment_path(active_seq_)), "cannot open the WAL segment");
+
+  durable_watermark_ = watermarks;
+  pending_watermark_ = watermarks;
+  durable_max_index_ = max_index;
+
+  RecoveredState rs;
+  rs.class_watermarks = std::move(watermarks);
+  rs.max_index = max_index;
+  rs.durable_floor = max_index;
+  for (TOIndex w : rs.class_watermarks) rs.durable_floor = std::min(rs.durable_floor, w);
+  return rs;
+}
+
+}  // namespace otpdb

@@ -1,0 +1,22 @@
+#include "db/storage_backend.h"
+
+#include "db/durable_store.h"
+
+namespace otpdb {
+
+std::unique_ptr<StorageBackend> make_storage_backend(const StorageConfig& config,
+                                                     Simulator& sim, SiteId site,
+                                                     std::size_t n_classes,
+                                                     std::uint64_t dense_objects,
+                                                     const std::filesystem::path& root) {
+  switch (config.backend) {
+    case StorageBackendKind::memory:
+      return std::make_unique<MemoryBackend>(dense_objects);
+    case StorageBackendKind::durable:
+      return std::make_unique<DurableStore>(
+          sim, config, root / ("site-" + std::to_string(site)), n_classes, dense_objects);
+  }
+  OTPDB_UNREACHABLE();
+}
+
+}  // namespace otpdb

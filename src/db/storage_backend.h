@@ -1,0 +1,132 @@
+// Pluggable storage tier behind the replica engines.
+//
+// Every engine keeps executing reads/provisional-writes against the
+// in-memory VersionedStore (the multi-version cache is the read path either
+// way); what a backend changes is what happens at the commit/abort boundary:
+//
+//   MemoryBackend  - forwards straight to VersionedStore. Bit-for-bit the
+//                    pre-refactor behavior: no extra events, no I/O.
+//   DurableStore   - additionally encodes each commit into a TO-ordered
+//                    write-ahead log with group-commit fsync batching,
+//                    periodic checkpoints and log truncation, and can
+//                    rebuild the committed state from disk after a cold
+//                    restart (see db/durable_store.h).
+//
+// Backends are per-site objects owned by the Cluster; the engine sees only
+// this interface plus the embedded VersionedStore.
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "db/versioned_store.h"
+#include "net/message.h"  // SiteId
+#include "sim/simulator.h"
+#include "util/assert.h"
+#include "util/types.h"
+
+namespace otpdb {
+
+struct WalStats;  // db/durable_store.h
+
+enum class StorageBackendKind { memory, durable };
+
+/// Per-cluster storage configuration (ClusterConfig::storage).
+struct StorageConfig {
+  StorageBackendKind backend = StorageBackendKind::memory;
+  /// Root directory for durable state (one subdirectory per site). Empty =
+  /// a fresh temp directory owned (and removed) by the Cluster.
+  std::string data_dir;
+  /// Group-commit window: an fsync is scheduled this long after the first
+  /// unflushed commit, so every commit arriving within the window shares it.
+  SimTime flush_window = 2 * kMillisecond;
+  /// Modeled device latency per fsync; the next flush may not start before
+  /// the previous one "completes", which is what makes batches grow under
+  /// load. Deterministic sim-time, so parity digests stay bit-for-bit.
+  SimTime fsync_latency = 5 * kMillisecond;
+  /// Interval between checkpoint snapshots (also the truncation cadence).
+  SimTime checkpoint_interval = 1 * kSecond;
+  /// Segment roll threshold; smaller segments truncate at a finer grain.
+  std::uint64_t segment_bytes = 1 << 20;
+};
+
+/// What restart_from_disk() recovered; the Cluster feeds this to the replica
+/// and broadcast layers so peer replay starts at the durable tail.
+struct RecoveredState {
+  /// Per-class durable commit watermark (index into [0, n_classes)).
+  std::vector<TOIndex> class_watermarks;
+  /// min over class_watermarks: every definitive index <= this floor is
+  /// durably applied at this site, so peers need not resend those bodies.
+  TOIndex durable_floor = 0;
+  /// Highest commit index seen on disk (checkpoint or WAL).
+  TOIndex max_index = 0;
+};
+
+class StorageBackend {
+ public:
+  explicit StorageBackend(std::uint64_t dense_objects) : store_(dense_objects) {}
+  virtual ~StorageBackend() = default;
+  StorageBackend(const StorageBackend&) = delete;
+  StorageBackend& operator=(const StorageBackend&) = delete;
+
+  /// The embedded in-memory store. Engines read / provisionally write here
+  /// directly; only the commit/abort boundary goes through the virtuals.
+  VersionedStore& memory() { return store_; }
+  const VersionedStore& memory() const { return store_; }
+
+  /// Installs an initial version (index 0) on the in-memory store; the
+  /// durable backend also journals it so restart reproduces the schema.
+  virtual void load(ObjectId obj, Value value) { store_.load(obj, std::move(value)); }
+
+  /// Promotes `txn`'s provisional writes to committed versions at `index`.
+  /// `classes` names the conflict classes the transaction covers (ascending)
+  /// - the durable backend advances one watermark per class.
+  virtual void commit(TxnId txn, TOIndex index, std::span<const ClassId> classes) {
+    (void)classes;
+    store_.commit(txn, index);
+  }
+
+  /// Discards `txn`'s provisional writes (undo - never hits the log).
+  virtual void abort(TxnId txn) { store_.abort(txn); }
+
+  /// Discards every provisional write (warm crash recovery).
+  virtual void clear_provisional() { store_.clear_provisional(); }
+
+  /// Site crashed: stop producing I/O until reopen()/restart_from_disk().
+  virtual void crash() {}
+
+  /// Warm recovery - RAM survived; resume logging where the crash left off.
+  virtual void reopen() {}
+
+  /// Cold restart - RAM lost. Rebuilds the committed state in place from
+  /// checkpoint + WAL and reports how far the durable state reaches.
+  /// Memory backends cannot do this.
+  virtual RecoveredState restart_from_disk() {
+    OTPDB_CHECK_MSG(false, "cold restart requires the durable storage backend");
+    return {};
+  }
+
+  /// WAL counters, or nullptr for backends that keep no log.
+  virtual const WalStats* wal_stats() const { return nullptr; }
+
+ protected:
+  VersionedStore store_;
+};
+
+/// The pre-refactor in-memory tier: every virtual is the base default.
+class MemoryBackend final : public StorageBackend {
+ public:
+  explicit MemoryBackend(std::uint64_t dense_objects) : StorageBackend(dense_objects) {}
+};
+
+/// Builds the configured backend for one site. Durable backends live at
+/// `root`/site-<id>; `root` must be the (existing) cluster data directory.
+std::unique_ptr<StorageBackend> make_storage_backend(const StorageConfig& config,
+                                                     Simulator& sim, SiteId site,
+                                                     std::size_t n_classes,
+                                                     std::uint64_t dense_objects,
+                                                     const std::filesystem::path& root);
+
+}  // namespace otpdb

@@ -95,6 +95,30 @@ void VersionedStore::clear_provisional() {
   }
 }
 
+void VersionedStore::install_version(ObjectId obj, TOIndex index, Value value) {
+  Chain& chain = chain_slot(obj);
+  if (!chain.empty() && chain.back().index >= index) return;  // already installed
+  if (chain.empty()) ++live_objects_;
+  chain.push_back(Version{index, std::move(value)});
+}
+
+void VersionedStore::for_each_chain(
+    const std::function<void(ObjectId, std::span<const Version>)>& fn) const {
+  for (ObjectId obj = 0; obj < dense_chains_.size(); ++obj) {
+    if (!dense_chains_[obj].empty()) fn(obj, dense_chains_[obj]);
+  }
+  for (const auto& [obj, chain] : sparse_chains_) {
+    if (!chain.empty()) fn(obj, chain);
+  }
+}
+
+void VersionedStore::reset_in_place() {
+  for (Chain& chain : dense_chains_) chain.clear();
+  sparse_chains_.clear();
+  live_objects_ = 0;
+  clear_provisional();
+}
+
 std::span<const VersionedStore::WriteEntry> VersionedStore::provisional_writes(TxnId txn) {
   if (txn >= provisional_.size()) return {};
   WriteSet& ws = provisional_[txn];

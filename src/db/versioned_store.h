@@ -22,6 +22,7 @@
 //    pointer-returning variants so hot readers skip the Value copy.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -92,6 +93,23 @@ class VersionedStore {
   /// Discards every provisional write (crash recovery: provisional versions
   /// live in volatile memory; only committed versions are durable).
   void clear_provisional();
+
+  /// Directly installs one committed version (recovery replay: checkpoint
+  /// chains and WAL commit records, applied in file order). Idempotent - a
+  /// version at or below the chain head is skipped, so a WAL record that
+  /// overlaps the checkpoint re-applies harmlessly.
+  void install_version(ObjectId obj, TOIndex index, Value value);
+
+  /// Visits every non-empty committed chain (versions ascending by index).
+  /// Dense ids first in ascending order, then sparse ids in map order -
+  /// checkpoint writers sort the result themselves.
+  void for_each_chain(
+      const std::function<void(ObjectId, std::span<const Version>)>& fn) const;
+
+  /// Drops all committed and provisional state, keeping allocations and -
+  /// critically - the object's identity: references to this store held by
+  /// replicas stay valid across a cold restart.
+  void reset_in_place();
 
   /// The transaction's current provisional write set, sorted by object - a
   /// view into the store, valid until the next write/commit/abort of `txn`.

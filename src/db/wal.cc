@@ -1,0 +1,416 @@
+#include "db/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <span>
+
+#include "util/assert.h"
+
+namespace otpdb::wal {
+namespace {
+
+constexpr char kSegmentMagic[8] = {'O', 'T', 'P', 'W', 'A', 'L', '1', '\n'};
+constexpr char kCheckpointMagic[8] = {'O', 'T', 'P', 'C', 'K', 'P', '1', '\n'};
+constexpr std::uint8_t kRecordCommit = 1;
+constexpr std::uint8_t kRecordLoad = 2;
+constexpr std::uint8_t kTagInt64 = 0;
+constexpr std::uint8_t kTagDouble = 1;
+constexpr std::uint8_t kTagString = 2;
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+// --- little-endian encode helpers -----------------------------------------
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_value(std::vector<std::uint8_t>& out, const Value& value) {
+  if (const auto* i = std::get_if<std::int64_t>(&value)) {
+    put_u8(out, kTagInt64);
+    put_u64(out, static_cast<std::uint64_t>(*i));
+  } else if (const auto* d = std::get_if<double>(&value)) {
+    put_u8(out, kTagDouble);
+    std::uint64_t bits;
+    std::memcpy(&bits, d, sizeof(bits));
+    put_u64(out, bits);
+  } else {
+    const auto& s = std::get<std::string>(value);
+    put_u8(out, kTagString);
+    put_u32(out, static_cast<std::uint32_t>(s.size()));
+    out.insert(out.end(), s.begin(), s.end());
+  }
+}
+
+// --- bounds-checked decode cursor -----------------------------------------
+
+// Every get_* returns false instead of reading past `end`, so a truncated
+// or garbage payload can never walk off the buffer (the corruption tests
+// run this under ASan).
+struct Cursor {
+  const std::uint8_t* p;
+  const std::uint8_t* end;
+
+  bool get_u8(std::uint8_t& v) {
+    if (end - p < 1) return false;
+    v = *p++;
+    return true;
+  }
+  bool get_u16(std::uint16_t& v) {
+    if (end - p < 2) return false;
+    v = static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+    p += 2;
+    return true;
+  }
+  bool get_u32(std::uint32_t& v) {
+    if (end - p < 4) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    p += 4;
+    return true;
+  }
+  bool get_u64(std::uint64_t& v) {
+    if (end - p < 8) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    p += 8;
+    return true;
+  }
+  bool get_value(Value& v) {
+    std::uint8_t tag;
+    if (!get_u8(tag)) return false;
+    switch (tag) {
+      case kTagInt64: {
+        std::uint64_t bits;
+        if (!get_u64(bits)) return false;
+        v = static_cast<std::int64_t>(bits);
+        return true;
+      }
+      case kTagDouble: {
+        std::uint64_t bits;
+        if (!get_u64(bits)) return false;
+        double d;
+        std::memcpy(&d, &bits, sizeof(d));
+        v = d;
+        return true;
+      }
+      case kTagString: {
+        std::uint32_t len;
+        if (!get_u32(len)) return false;
+        if (static_cast<std::size_t>(end - p) < len) return false;
+        v = std::string(reinterpret_cast<const char*>(p), len);
+        p += len;
+        return true;
+      }
+      default:
+        return false;
+    }
+  }
+};
+
+bool decode_commit(Cursor& cur, CommitRecord& rec) {
+  std::uint64_t index;
+  std::uint16_t n_classes;
+  if (!cur.get_u64(index) || !cur.get_u16(n_classes)) return false;
+  rec.index = index;
+  rec.classes.clear();
+  rec.classes.reserve(n_classes);
+  for (std::uint16_t i = 0; i < n_classes; ++i) {
+    std::uint32_t klass;
+    if (!cur.get_u32(klass)) return false;
+    rec.classes.push_back(klass);
+  }
+  std::uint32_t n_writes;
+  if (!cur.get_u32(n_writes)) return false;
+  rec.writes.clear();
+  rec.writes.reserve(n_writes);
+  for (std::uint32_t i = 0; i < n_writes; ++i) {
+    std::uint64_t object;
+    Value value;
+    if (!cur.get_u64(object) || !cur.get_value(value)) return false;
+    rec.writes.emplace_back(object, std::move(value));
+  }
+  return cur.p == cur.end;  // trailing bytes = corrupt payload
+}
+
+bool decode_load(Cursor& cur, LoadRecord& rec) {
+  std::uint64_t object;
+  if (!cur.get_u64(object) || !cur.get_value(rec.value)) return false;
+  rec.object = object;
+  return cur.p == cur.end;
+}
+
+void frame(std::vector<std::uint8_t>& out, const std::vector<std::uint8_t>& payload) {
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, crc32(payload.data(), payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+std::uint32_t read_u32le(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+bool read_all(const std::filesystem::path& path, std::vector<std::uint8_t>& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  return true;
+}
+
+// Walks frames after the magic, dispatching each intact record. Returns the
+// valid prefix; stops (clean=false) at the first torn or corrupt frame.
+ScanResult scan_frames(std::span<const std::uint8_t> bytes, const ScanCallbacks& callbacks) {
+  ScanResult result;
+  std::size_t off = sizeof(kSegmentMagic);
+  result.valid_bytes = off;
+  CommitRecord commit;
+  LoadRecord load;
+  while (off < bytes.size()) {
+    if (bytes.size() - off < 8) {
+      result.clean = false;
+      break;
+    }
+    const std::uint32_t len = read_u32le(bytes.data() + off);
+    const std::uint32_t crc = read_u32le(bytes.data() + off + 4);
+    if (bytes.size() - off - 8 < len) {
+      result.clean = false;  // torn tail: frame header promises more bytes
+      break;
+    }
+    const std::uint8_t* payload = bytes.data() + off + 8;
+    if (crc32(payload, len) != crc) {
+      result.clean = false;
+      break;
+    }
+    Cursor cur{payload, payload + len};
+    std::uint8_t type;
+    bool ok = cur.get_u8(type);
+    if (ok && type == kRecordCommit) {
+      ok = decode_commit(cur, commit);
+      if (ok) {
+        result.max_index = std::max(result.max_index, commit.index);
+        if (callbacks.on_commit) callbacks.on_commit(commit);
+      }
+    } else if (ok && type == kRecordLoad) {
+      ok = decode_load(cur, load);
+      if (ok && callbacks.on_load) callbacks.on_load(load);
+    } else {
+      ok = false;
+    }
+    if (!ok) {
+      result.clean = false;  // crc passed but payload malformed: still stop
+      break;
+    }
+    off += 8 + len;
+    result.valid_bytes = off;
+    ++result.records;
+  }
+  return result;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xffffffffu;
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < n; ++i) c = table[(c ^ p[i]) & 0xff] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+void append_commit(std::vector<std::uint8_t>& out, TOIndex index,
+                   std::span<const ClassId> classes,
+                   std::span<const std::pair<ObjectId, Value>> writes) {
+  OTPDB_CHECK_MSG(!classes.empty(), "commit record needs at least one class");
+  std::vector<std::uint8_t> payload;
+  payload.reserve(32 + writes.size() * 24);
+  put_u8(payload, kRecordCommit);
+  put_u64(payload, index);
+  put_u16(payload, static_cast<std::uint16_t>(classes.size()));
+  for (ClassId c : classes) put_u32(payload, c);
+  put_u32(payload, static_cast<std::uint32_t>(writes.size()));
+  for (const auto& [object, value] : writes) {
+    put_u64(payload, object);
+    put_value(payload, value);
+  }
+  frame(out, payload);
+}
+
+void append_load(std::vector<std::uint8_t>& out, ObjectId object, const Value& value) {
+  std::vector<std::uint8_t> payload;
+  put_u8(payload, kRecordLoad);
+  put_u64(payload, object);
+  put_value(payload, value);
+  frame(out, payload);
+}
+
+ScanResult scan_segment(const std::filesystem::path& path, const ScanCallbacks& callbacks) {
+  std::vector<std::uint8_t> bytes;
+  if (!read_all(path, bytes)) return {};  // missing file: empty, clean
+  if (bytes.size() < sizeof(kSegmentMagic) ||
+      std::memcmp(bytes.data(), kSegmentMagic, sizeof(kSegmentMagic)) != 0) {
+    ScanResult bad;
+    bad.clean = false;
+    return bad;
+  }
+  return scan_frames(bytes, callbacks);
+}
+
+std::string segment_name(std::uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%010llu.log", static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+bool SegmentWriter::open(const std::filesystem::path& path) {
+  close();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) return false;
+  const off_t existing = ::lseek(fd_, 0, SEEK_END);
+  if (existing > 0) {
+    size_ = static_cast<std::uint64_t>(existing);
+    return true;
+  }
+  size_ = 0;
+  return append_and_sync(reinterpret_cast<const std::uint8_t*>(kSegmentMagic),
+                         sizeof(kSegmentMagic));
+}
+
+void SegmentWriter::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  size_ = 0;
+}
+
+bool SegmentWriter::append_and_sync(const std::uint8_t* data, std::size_t n) {
+  OTPDB_CHECK_MSG(fd_ >= 0, "append on a closed WAL segment");
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::write(fd_, data + done, n - done);
+    if (w < 0) return false;
+    done += static_cast<std::size_t>(w);
+  }
+  if (::fsync(fd_) != 0) return false;
+  size_ += n;
+  return true;
+}
+
+bool truncate_file(const std::filesystem::path& path, std::uint64_t valid_bytes) {
+  return ::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) == 0;
+}
+
+bool write_checkpoint(const std::filesystem::path& path, const CheckpointData& data) {
+  std::vector<std::uint8_t> payload;
+  put_u32(payload, static_cast<std::uint32_t>(data.class_watermarks.size()));
+  for (TOIndex w : data.class_watermarks) put_u64(payload, w);
+  put_u64(payload, data.max_index);
+  put_u64(payload, data.chains.size());
+  for (const auto& [object, versions] : data.chains) {
+    put_u64(payload, object);
+    put_u32(payload, static_cast<std::uint32_t>(versions.size()));
+    for (const auto& [index, value] : versions) {
+      put_u64(payload, index);
+      put_value(payload, value);
+    }
+  }
+
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(sizeof(kCheckpointMagic) + 8 + payload.size());
+  bytes.insert(bytes.end(), kCheckpointMagic, kCheckpointMagic + sizeof(kCheckpointMagic));
+  frame(bytes, payload);
+
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return false;
+    std::size_t done = 0;
+    while (done < bytes.size()) {
+      const ssize_t w = ::write(fd, bytes.data() + done, bytes.size() - done);
+      if (w < 0) {
+        ::close(fd);
+        return false;
+      }
+      done += static_cast<std::size_t>(w);
+    }
+    const bool synced = ::fsync(fd) == 0;
+    ::close(fd);
+    if (!synced) return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  return !ec;
+}
+
+bool read_checkpoint(const std::filesystem::path& path, CheckpointData& out) {
+  out = {};
+  std::vector<std::uint8_t> bytes;
+  if (!read_all(path, bytes)) return false;
+  if (bytes.size() < sizeof(kCheckpointMagic) + 8 ||
+      std::memcmp(bytes.data(), kCheckpointMagic, sizeof(kCheckpointMagic)) != 0) {
+    return false;
+  }
+  const std::uint8_t* frame_start = bytes.data() + sizeof(kCheckpointMagic);
+  const std::uint32_t len = read_u32le(frame_start);
+  const std::uint32_t crc = read_u32le(frame_start + 4);
+  if (bytes.size() - sizeof(kCheckpointMagic) - 8 < len) return false;
+  const std::uint8_t* payload = frame_start + 8;
+  if (crc32(payload, len) != crc) return false;
+
+  Cursor cur{payload, payload + len};
+  std::uint32_t n_classes;
+  if (!cur.get_u32(n_classes)) return false;
+  out.class_watermarks.resize(n_classes);
+  for (std::uint32_t i = 0; i < n_classes; ++i) {
+    std::uint64_t w;
+    if (!cur.get_u64(w)) { out = {}; return false; }
+    out.class_watermarks[i] = w;
+  }
+  std::uint64_t max_index, n_objects;
+  if (!cur.get_u64(max_index) || !cur.get_u64(n_objects)) { out = {}; return false; }
+  out.max_index = max_index;
+  out.chains.reserve(n_objects);
+  for (std::uint64_t i = 0; i < n_objects; ++i) {
+    std::uint64_t object;
+    std::uint32_t n_versions;
+    if (!cur.get_u64(object) || !cur.get_u32(n_versions)) { out = {}; return false; }
+    std::vector<std::pair<TOIndex, Value>> versions;
+    versions.reserve(n_versions);
+    for (std::uint32_t v = 0; v < n_versions; ++v) {
+      std::uint64_t index;
+      Value value;
+      if (!cur.get_u64(index) || !cur.get_value(value)) { out = {}; return false; }
+      versions.emplace_back(index, std::move(value));
+    }
+    out.chains.emplace_back(object, std::move(versions));
+  }
+  if (cur.p != cur.end) { out = {}; return false; }
+  return true;
+}
+
+}  // namespace otpdb::wal

@@ -1,0 +1,142 @@
+// Write-ahead log file format keyed on the definitive order (TOIndex).
+//
+// The TO-delivered order is identical at every site, so the log needs no
+// LSNs of its own: a commit record's definitive index IS its log position in
+// the total order, and per-class index watermarks fully describe how far the
+// durable state reaches (commits within a class follow the definitive order
+// with no holes). This module is pure format + file I/O - the group-commit
+// scheduling, checkpointing and truncation policy live in DurableStore.
+//
+// On-disk layout (all integers little-endian):
+//
+//   segment file  wal-<seq>.log:
+//     8-byte magic "OTPWAL1\n", then framed records back to back.
+//   record frame:
+//     u32 payload_len | u32 crc32(payload) | payload
+//   record payload:
+//     u8 type (1=commit, 2=load)
+//     commit: u64 index, u16 n_classes, n*u32 class,
+//             u32 n_writes, n*(u64 object, value)
+//     load:   u64 object, value
+//   value:
+//     u8 tag (0=int64, 1=double, 2=string), then u64 payload
+//     (double = bit pattern) or u32 len + bytes for strings.
+//
+//   checkpoint file  checkpoint.bin (written to a temp name, then renamed):
+//     8-byte magic "OTPCKP1\n", one frame whose payload is
+//     u32 n_classes, n*u64 watermark, u64 max_index,
+//     u64 n_objects, n*(u64 object, u32 n_versions, n*(u64 index, value)).
+//
+// Readers stop cleanly at the first torn, truncated or checksum-corrupt
+// frame: everything before it is valid, everything after is discarded. That
+// is exactly the group-commit contract - a crash mid-fsync loses at most the
+// batch being written, never previously synced records.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "db/value.h"
+#include "util/types.h"
+
+namespace otpdb::wal {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib one) over `n` bytes.
+std::uint32_t crc32(const void* data, std::size_t n);
+
+/// One decoded commit record.
+struct CommitRecord {
+  TOIndex index = 0;
+  std::vector<ClassId> classes;                     // covered classes, ascending
+  std::vector<std::pair<ObjectId, Value>> writes;   // sorted by object
+};
+
+/// One decoded initial-load record (an index-0 version).
+struct LoadRecord {
+  ObjectId object = 0;
+  Value value;
+};
+
+/// Appends a framed commit record to `out`. `classes` must be non-empty;
+/// `writes` is the transaction's write-set sorted by object.
+void append_commit(std::vector<std::uint8_t>& out, TOIndex index,
+                   std::span<const ClassId> classes,
+                   std::span<const std::pair<ObjectId, Value>> writes);
+
+/// Appends a framed load record to `out`.
+void append_load(std::vector<std::uint8_t>& out, ObjectId object, const Value& value);
+
+/// Record callbacks for a segment scan. Either may be null.
+struct ScanCallbacks {
+  std::function<void(const CommitRecord&)> on_commit;
+  std::function<void(const LoadRecord&)> on_load;
+};
+
+/// Result of scanning one segment file.
+struct ScanResult {
+  std::uint64_t valid_bytes = 0;  ///< length of the valid prefix (incl. magic)
+  std::uint64_t records = 0;      ///< records decoded from the valid prefix
+  bool clean = true;              ///< false when a torn/corrupt tail was cut off
+  TOIndex max_index = 0;          ///< highest commit index in the valid prefix
+};
+
+/// Scans a segment, invoking `callbacks` per valid record in file order, and
+/// stops at the first torn or corrupt frame. A missing file scans as empty
+/// and clean; a bad magic scans as zero records, not clean.
+ScanResult scan_segment(const std::filesystem::path& path, const ScanCallbacks& callbacks);
+
+/// Name of segment `seq` ("wal-0000000001.log").
+std::string segment_name(std::uint64_t seq);
+
+/// Appends raw bytes to a log segment with POSIX write + fsync.
+/// One writer owns one segment at a time.
+class SegmentWriter {
+ public:
+  SegmentWriter() = default;
+  ~SegmentWriter() { close(); }
+  SegmentWriter(const SegmentWriter&) = delete;
+  SegmentWriter& operator=(const SegmentWriter&) = delete;
+
+  /// Opens (creating if needed) `path` for append; writes the magic into a
+  /// fresh file. Returns false on I/O error.
+  bool open(const std::filesystem::path& path);
+  void close();
+  bool is_open() const { return fd_ >= 0; }
+
+  /// write() + fsync() of one group-commit batch. Returns false on I/O error.
+  bool append_and_sync(const std::uint8_t* data, std::size_t n);
+
+  /// Bytes in the segment (magic included).
+  std::uint64_t size() const { return size_; }
+
+ private:
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
+};
+
+/// Truncates `path` to `valid_bytes` (cutting a torn tail before re-append).
+bool truncate_file(const std::filesystem::path& path, std::uint64_t valid_bytes);
+
+/// Serialized checkpoint payload: per-class watermarks + full version chains.
+struct CheckpointData {
+  std::vector<TOIndex> class_watermarks;
+  TOIndex max_index = 0;
+  std::vector<std::pair<ObjectId, std::vector<std::pair<TOIndex, Value>>>> chains;
+};
+
+/// Atomically replaces `path` with the serialized checkpoint: writes a temp
+/// file in the same directory, fsyncs it, then renames over `path`. Returns
+/// false on I/O error (the previous checkpoint, if any, survives).
+bool write_checkpoint(const std::filesystem::path& path, const CheckpointData& data);
+
+/// Reads and validates a checkpoint. Returns false (and leaves `out` empty)
+/// when the file is missing, torn or checksum-corrupt - the caller then
+/// replays the WAL from scratch.
+bool read_checkpoint(const std::filesystem::path& path, CheckpointData& out);
+
+}  // namespace otpdb::wal

@@ -53,7 +53,7 @@ struct LockSite {
       }
     });
     replica = std::make_unique<LockTableReplica>(
-        sim, abcast, store, catalog, registry, 0,
+        sim, abcast, storage, catalog, registry, 0,
         [](ClassId, const TxnArgs& args) {
           std::vector<ObjectId> objects;
           for (std::size_t i = 1; i < args.ints.size(); ++i) {
@@ -78,7 +78,8 @@ struct LockSite {
 
   Simulator sim;
   PartitionCatalog catalog;
-  VersionedStore store;
+  MemoryBackend storage{0};
+  VersionedStore& store = storage.memory();
   ProcedureRegistry registry;
   ManualAbcast abcast;
   ProcId proc = 0;
@@ -199,7 +200,7 @@ TEST(LockTable, ChainedWaitsResolveInDefinitiveOrder) {
 
 ReplicaFactory lock_table_factory() {
   return [](const ReplicaDeps& d) {
-    return std::make_unique<LockTableReplica>(d.sim, d.abcast, d.store, d.catalog, d.registry,
+    return std::make_unique<LockTableReplica>(d.sim, d.abcast, d.storage, d.catalog, d.registry,
                                               d.site, rmw_access_extractor(d.catalog));
   };
 }

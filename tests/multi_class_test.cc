@@ -17,6 +17,7 @@
 #include "core/otp_replica.h"
 #include "db/partition.h"
 #include "db/procedures.h"
+#include "db/storage_backend.h"
 #include "db/versioned_store.h"
 #include "sim/simulator.h"
 #include "workload/tpcc_lite.h"
@@ -60,7 +61,7 @@ class ManualAbcast final : public AtomicBroadcast {
 struct Site {
   explicit Site(std::size_t n_classes, SiteId id = 0) : catalog(n_classes, 16), abcast(id) {
     proc = register_rmw_cross_procedure(registry);
-    replica = std::make_unique<OtpReplica>(sim, abcast, store, catalog, registry, id,
+    replica = std::make_unique<OtpReplica>(sim, abcast, storage, catalog, registry, id,
                                            OtpReplicaConfig{.paranoid_checks = true});
     replica->set_commit_hook([this](const CommitRecord& r) { commits.push_back(r); });
   }
@@ -88,7 +89,8 @@ struct Site {
 
   Simulator sim;
   PartitionCatalog catalog;
-  VersionedStore store;
+  MemoryBackend storage{0};
+  VersionedStore& store = storage.memory();
   ProcedureRegistry registry;
   ManualAbcast abcast;
   ProcId proc = 0;
@@ -362,7 +364,7 @@ TEST(MultiClassCluster, ConservativeCrossClassWorkloadStaysSerializable) {
   config.objects_per_class = 16;
   config.seed = 12;
   Cluster cluster(config, [](const ReplicaDeps& d) {
-    return std::make_unique<ConservativeReplica>(d.sim, d.abcast, d.store, d.catalog,
+    return std::make_unique<ConservativeReplica>(d.sim, d.abcast, d.storage, d.catalog,
                                                  d.registry, d.site);
   });
   run_cross_class_workload(cluster, 0.3, 22);
@@ -411,7 +413,7 @@ TEST(MultiClassCluster, TpccRemoteMixOnConservativeEngine) {
   config.objects_per_class = layout.objects_per_warehouse();
   config.seed = 32;
   Cluster cluster(config, [](const ReplicaDeps& d) {
-    return std::make_unique<ConservativeReplica>(d.sim, d.abcast, d.store, d.catalog,
+    return std::make_unique<ConservativeReplica>(d.sim, d.abcast, d.storage, d.catalog,
                                                  d.registry, d.site);
   });
   run_tpcc_remote(cluster, 42);
@@ -427,7 +429,7 @@ TEST(MultiClassDeath, LazyEngineRejectsMultiClassSubmission) {
   config.n_classes = 4;
   config.objects_per_class = 8;
   Cluster cluster(config, [](const ReplicaDeps& d) {
-    return std::make_unique<LazyReplica>(d.sim, d.net, d.store, d.catalog, d.registry, d.site);
+    return std::make_unique<LazyReplica>(d.sim, d.net, d.storage, d.catalog, d.registry, d.site);
   });
   const ProcId rmw_cross = register_rmw_cross_procedure(cluster.procedures());
   // Single-element sets route through normally...

@@ -12,6 +12,7 @@
 #include "core/otp_replica.h"
 #include "db/partition.h"
 #include "db/procedures.h"
+#include "db/storage_backend.h"
 #include "db/versioned_store.h"
 #include "sim/simulator.h"
 
@@ -66,7 +67,7 @@ struct Site {
                            static_cast<std::uint64_t>(ctx.args().ints[1]);
       ctx.write(order_log, static_cast<std::int64_t>(shifted));
     });
-    replica = std::make_unique<OtpReplica>(sim, abcast, store, catalog, registry, id,
+    replica = std::make_unique<OtpReplica>(sim, abcast, storage, catalog, registry, id,
                                            OtpReplicaConfig{.paranoid_checks = true});
     replica->set_commit_hook([this](const CommitRecord& r) { commits.push_back(r); });
   }
@@ -84,7 +85,8 @@ struct Site {
 
   Simulator sim;
   PartitionCatalog catalog;
-  VersionedStore store;
+  MemoryBackend storage{0};
+  VersionedStore& store = storage.memory();
   ProcedureRegistry registry;
   ManualAbcast abcast;
   ProcId proc = 0;

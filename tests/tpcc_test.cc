@@ -90,7 +90,7 @@ TEST(TpccProcedures, WarehousesAreIsolated) {
 
 ReplicaFactory conservative_factory() {
   return [](const ReplicaDeps& d) {
-    return std::make_unique<ConservativeReplica>(d.sim, d.abcast, d.store, d.catalog,
+    return std::make_unique<ConservativeReplica>(d.sim, d.abcast, d.storage, d.catalog,
                                                  d.registry, d.site);
   };
 }

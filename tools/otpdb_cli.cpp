@@ -22,6 +22,7 @@
 #include "baseline/lazy_replica.h"
 #include "checker/history.h"
 #include "core/lock_table_replica.h"
+#include "db/durable_store.h"
 #include "net/spontaneous_order.h"
 #include "net/topology.h"
 #include "util/flags.h"
@@ -43,10 +44,17 @@ int usage() {
                "              --abcast=opt|sequencer --seed=N --crash-site=S --crash-ms=T\n"
                "              --threads=N (1 = classic loop, >=2 = sharded parallel driver)\n"
                "              --topology=PROFILE (network shape; see below)\n"
+               "              --storage=memory|durable --data-dir=PATH\n"
                "  tpcc:       --warehouses=N --sites=N --rate=TXN/S/SITE --seconds=S\n"
                "              --skew=THETA --remote-frac=F --seed=N --threads=N\n"
-               "              --topology=PROFILE\n"
+               "              --topology=PROFILE --storage=memory|durable --data-dir=PATH\n"
                "  spontorder: --interval-ms=MS --messages=N --sites=N --seed=N\n"
+               "\n"
+               "storage (--storage):\n"
+               "  memory   in-memory multi-version store only (default)\n"
+               "  durable  TO-ordered group-commit WAL + checkpoints per site;\n"
+               "           state lives under --data-dir=PATH (one subdirectory\n"
+               "           per site; default: a fresh temp dir removed on exit)\n"
                "\n"
                "topology profiles (--topology):\n"
                "  %s\n"
@@ -70,22 +78,40 @@ bool apply_topology_flag(const Flags& flags, ClusterConfig& config) {
   return true;
 }
 
+/// Parses --storage / --data-dir into `config.storage`.
+bool apply_storage_flags(const Flags& flags, ClusterConfig& config) {
+  const std::string backend = flags.get("storage", "memory");
+  if (backend == "durable") {
+    config.storage.backend = StorageBackendKind::durable;
+  } else if (backend != "memory") {
+    std::fprintf(stderr, "unknown --storage=%s (memory|durable)\n", backend.c_str());
+    return false;
+  }
+  config.storage.data_dir = flags.get("data-dir", "");
+  if (!config.storage.data_dir.empty() &&
+      config.storage.backend != StorageBackendKind::durable) {
+    std::fprintf(stderr, "--data-dir requires --storage=durable\n");
+    return false;
+  }
+  return true;
+}
+
 ReplicaFactory make_factory(const std::string& engine) {
   if (engine == "conservative") {
     return [](const ReplicaDeps& d) {
-      return std::make_unique<ConservativeReplica>(d.sim, d.abcast, d.store, d.catalog,
+      return std::make_unique<ConservativeReplica>(d.sim, d.abcast, d.storage, d.catalog,
                                                    d.registry, d.site);
     };
   }
   if (engine == "lazy") {
     return [](const ReplicaDeps& d) {
-      return std::make_unique<LazyReplica>(d.sim, d.net, d.store, d.catalog, d.registry,
+      return std::make_unique<LazyReplica>(d.sim, d.net, d.storage, d.catalog, d.registry,
                                            d.site);
     };
   }
   if (engine == "locktable") {
     return [](const ReplicaDeps& d) {
-      return std::make_unique<LockTableReplica>(d.sim, d.abcast, d.store, d.catalog,
+      return std::make_unique<LockTableReplica>(d.sim, d.abcast, d.storage, d.catalog,
                                                 d.registry, d.site,
                                                 rmw_access_extractor(d.catalog));
     };
@@ -132,6 +158,23 @@ void print_cluster_summary(Cluster& cluster, double seconds, bool lazy_engine) {
                   static_cast<unsigned long long>(cs.instances_decided));
     }
   }
+  if (cluster.wal_stats(0) != nullptr) {
+    std::uint64_t logged = 0, fsyncs = 0, bytes = 0, checkpoints = 0;
+    for (SiteId s = 0; s < cluster.site_count(); ++s) {
+      const WalStats& w = *cluster.wal_stats(s);
+      logged += w.commits_logged;
+      fsyncs += w.fsyncs;
+      bytes += w.wal_bytes;
+      checkpoints += w.checkpoints;
+    }
+    std::printf("  durable storage    : %llu commits over %llu fsyncs "
+                "(%.1f commits/fsync), %.1f KiB WAL, %llu checkpoints\n",
+                static_cast<unsigned long long>(logged),
+                static_cast<unsigned long long>(fsyncs),
+                fsyncs > 0 ? static_cast<double>(logged) / static_cast<double>(fsyncs) : 0.0,
+                static_cast<double>(bytes) / 1024.0,
+                static_cast<unsigned long long>(checkpoints));
+  }
 }
 
 int cmd_run(const Flags& flags) {
@@ -147,6 +190,7 @@ int cmd_run(const Flags& flags) {
   // 1 = classic single-queue loop; >=2 = site-sharded engine on real cores.
   config.parallel.threads = static_cast<unsigned>(flags.get_int("threads", 1));
   if (!apply_topology_flag(flags, config)) return usage();
+  if (!apply_storage_flags(flags, config)) return usage();
 
   ReplicaFactory factory = make_factory(engine);
   auto cluster = factory ? std::make_unique<Cluster>(config, std::move(factory))
@@ -210,6 +254,7 @@ int cmd_tpcc(const Flags& flags) {
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   config.parallel.threads = static_cast<unsigned>(flags.get_int("threads", 1));
   if (!apply_topology_flag(flags, config)) return usage();
+  if (!apply_storage_flags(flags, config)) return usage();
   Cluster cluster(config);
 
   tpcc::MixConfig mix;

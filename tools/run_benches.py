@@ -58,6 +58,13 @@ KEEP_COUNTERS = (
     "mismatch_pct",
     "fast_path_pct",
     "ordering_gap_ms",
+    # Storage-tier sweep (PR 7): group-commit WAL counters.
+    "wal_commits",
+    "wal_fsyncs",
+    "group_commit_batch",
+    "wal_kib",
+    "checkpoints",
+    "segments_truncated",
 )
 
 # Benchmark names encode the parallel-driver sweep as a "threads:N" segment
@@ -194,8 +201,9 @@ def main() -> int:
 
     result = {
         # v2: threads axis + parallel_speedup table; v3: degraded_parallel
-        # stamp + topology/channel-clock counters.
-        "schema": "otpdb-bench-v3",
+        # stamp + topology/channel-clock counters; v4: storage axis
+        # (memory vs durable WAL) with group-commit/fsync counters.
+        "schema": "otpdb-bench-v4",
         "host": {
             "platform": platform.platform(),
             "machine": platform.machine(),
