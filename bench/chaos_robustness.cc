@@ -1,0 +1,119 @@
+// Robustness-under-chaos bench: the TPC-C-lite mix on an OTP cluster with
+// each declarative fault profile armed (the same profiles otpdb_cli exposes
+// via --chaos), against a fault-free baseline. The point is not raw goodput -
+// it is the cost of surviving: how much throughput and latency each fault
+// class taxes while the correctness audit stays clean, with the injected-
+// fault counters reported alongside so a regression in the chaos plane
+// itself (clauses silently not firing) is visible in the trajectory.
+//
+// Counters: txn_per_s, latency_ms, audit_clean, plus the injection ledger
+// (dups_injected/suppressed, reorders_injected, gray_delays, parked/
+// released, flap_transitions), suspicion churn (fd_suspicions, fd_restores)
+// and - for the flaky-disk profile - the storage-side ledger
+// (io_faults_injected, wal_io_errors, wal_io_retries).
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_common.h"
+#include "db/durable_store.h"
+#include "net/fault_plan.h"
+#include "workload/tpcc_lite.h"
+
+namespace otpdb::bench {
+namespace {
+
+// Scenario axis: 0 = no chaos (baseline), then the named CLI profiles.
+const char* const kProfiles[] = {"baseline", "dup-heavy", "gray-wan", "asym-flap", "flaky-disk"};
+
+void BM_ChaosRobustness(benchmark::State& state) {
+  const char* profile_name = kProfiles[state.range(0)];
+  const SimTime duration = 3 * kSecond;
+
+  ClusterTotals t;
+  double duration_s = 0;
+  bool audit_clean = true;
+  ChaosStats cs;
+  FailureDetectorStats fd;
+  std::uint64_t io_injected = 0, wal_errors = 0, wal_retries = 0;
+  for (auto _ : state) {
+    ClusterConfig config;
+    config.n_sites = 4;
+    config.n_classes = 8;
+    tpcc::Layout layout;
+    config.objects_per_class = layout.objects_per_warehouse();
+    config.seed = 1999;
+    config.net = lan();
+
+    ChaosProfile profile;
+    if (std::string(profile_name) != "baseline") {
+      const bool known = parse_chaos_profile(profile_name, config.n_sites, duration, profile);
+      if (!known) {
+        state.SkipWithError("unknown chaos profile");
+        return;
+      }
+      config.chaos = profile.net;
+      if (profile.flaky_disk) {
+        // Same injector strengths the CLI arms for --chaos=flaky-disk.
+        config.storage.backend = StorageBackendKind::durable;
+        config.storage.faults.enabled = true;
+        config.storage.faults.seed = config.seed;
+        config.storage.faults.write_error_prob = 0.02;
+        config.storage.faults.torn_write_prob = 0.01;
+        config.storage.faults.fsync_error_prob = 0.02;
+      }
+    }
+
+    Cluster cluster(config);
+    tpcc::MixConfig mix;
+    mix.txn_per_second_per_site = 120;
+    mix.duration = duration;
+    mix.warehouse_skew_theta = 0.6;
+    tpcc::TpccDriver driver(cluster, layout, mix, 2024);
+    driver.start();
+    cluster.run_for(mix.duration);
+    cluster.quiesce(180 * kSecond);
+
+    t = totals(cluster);
+    duration_s = static_cast<double>(cluster.sim().now()) / 1e9;
+    for (SiteId s = 0; s < cluster.site_count(); ++s) {
+      audit_clean &= driver.audit(s).empty();
+      if (const IoFaultStats* io = cluster.storage(s).io_fault_stats()) {
+        io_injected += io->injected();
+      }
+      if (const WalStats* w = cluster.wal_stats(s)) {
+        wal_errors += w->io_errors;
+        wal_retries += w->io_retries;
+      }
+    }
+    cs = cluster.chaos_stats();
+    fd = cluster.fd_stats();
+  }
+
+  state.SetLabel(profile_name);
+  state.counters["txn_per_s"] = goodput(t, 4, duration_s, false);
+  state.counters["latency_ms"] = to_ms(t.commit_latency_ns.mean());
+  state.counters["audit_clean"] = audit_clean ? 1.0 : 0.0;
+  state.counters["dups_injected"] = static_cast<double>(cs.duplicates_injected);
+  state.counters["dups_suppressed"] = static_cast<double>(cs.duplicates_suppressed);
+  state.counters["reorders_injected"] = static_cast<double>(cs.reorders_injected);
+  state.counters["gray_delays"] = static_cast<double>(cs.gray_delays);
+  state.counters["deliveries_parked"] = static_cast<double>(cs.deliveries_parked);
+  state.counters["parked_released"] = static_cast<double>(cs.parked_released);
+  state.counters["flap_transitions"] = static_cast<double>(cs.flap_transitions);
+  state.counters["fd_suspicions"] = static_cast<double>(fd.suspicions);
+  state.counters["fd_restores"] = static_cast<double>(fd.restores);
+  state.counters["io_faults_injected"] = static_cast<double>(io_injected);
+  state.counters["wal_io_errors"] = static_cast<double>(wal_errors);
+  state.counters["wal_io_retries"] = static_cast<double>(wal_retries);
+}
+BENCHMARK(BM_ChaosRobustness)
+    ->ArgNames({"profile"})
+    ->DenseRange(0, 4, 1)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace otpdb::bench
+
+BENCHMARK_MAIN();

@@ -149,6 +149,19 @@ void ConsensusHost::coord_propose(std::uint64_t inst, std::uint64_t round, Value
   Instance& in = instance(inst);
   in.coord_value[round] = value;
   ++stats_.rounds_started;
+  // Adopt our own proposal at send time, under the same staleness rule a peer
+  // applies in handle_coord_prop. Counting self in the ack set is only sound
+  // after this adoption: a majority of acks must mean a majority of sites
+  // actually locked the value. (Before this, a coordinator whose estimate had
+  // moved on to a later round still counted itself, so a decision could rest
+  // on majority-1 real adopters - and a concurrent later round could lock a
+  // different value with a disjoint majority. Found by chaos injection:
+  // heavy delay variance makes rounds overlap.)
+  if (round + 1 >= in.ts) {
+    in.est = value;
+    in.ts = round + 1;
+    in.acks[round].insert(self_);
+  }
   net_.multicast(self_, kChannelConsensus,
                  make_payload(Kind::coord_prop, inst, round, 0, std::move(value)));
 }
@@ -157,6 +170,11 @@ void ConsensusHost::handle_estimate(std::uint64_t inst, std::uint64_t round, Sit
                                     std::uint64_t ts, const Value& value) {
   Instance& in = instance(inst);
   if (coordinator(inst, round) != self_) return;
+  // Never coordinate a round we have moved past: our estimate for a later
+  // round (carrying the pre-adoption timestamp) is already in flight, so
+  // self-adopting here could let two overlapping rounds lock different
+  // values with disjoint majorities.
+  if (round < in.round) return;
   in.estimates[round][from] = {ts, value};
   if (in.coord_value.contains(round)) return;  // already proposed this round
   // Include our own estimate once we have one.
@@ -177,6 +195,12 @@ void ConsensusHost::handle_coord_prop(std::uint64_t inst, std::uint64_t round, S
   // overwrite an estimate adopted in a later round, or the locking argument
   // (decided values survive into all later rounds) would break.
   if (round + 1 < in.ts) return;
+  // And never ack a round we have advanced past: our estimate for the later
+  // round - sent before this adoption, still carrying the old timestamp - may
+  // already be counted by that round's coordinator. Acking here would let a
+  // decision rest on a majority whose locks the later round cannot see.
+  // (Found by chaos injection; see the seed-5 trace in the chaos tests.)
+  if (round < in.round) return;
   in.est = value;
   in.ts = round + 1;
   in.round = std::max(in.round, round);
@@ -188,8 +212,7 @@ void ConsensusHost::handle_ack(std::uint64_t inst, std::uint64_t round, SiteId f
   auto cv = in.coord_value.find(round);
   if (cv == in.coord_value.end()) return;
   auto& acks = in.acks[round];
-  acks.insert(from);
-  acks.insert(self_);  // the coordinator adopted its own proposal
+  acks.insert(from);  // self was inserted in coord_propose iff we adopted
   if (acks.size() >= majority()) {
     decide(inst, cv->second, /*fast=*/false, /*announce=*/true);
   }

@@ -1,5 +1,7 @@
 #include "abcast/failure_detector.h"
 
+#include <algorithm>
+
 #include "abcast/channels.h"
 #include "util/assert.h"
 #include "util/log.h"
@@ -17,6 +19,7 @@ FailureDetector::FailureDetector(Simulator& sim, Network& net, SiteId self,
       self_(self),
       config_(config),
       last_heard_(net.site_count(), 0),
+      timeout_(net.site_count(), config.suspect_timeout),
       suspected_(net.site_count(), false) {
   net_.subscribe(self_, kChannelHeartbeat, [this](const Message& m) { on_heartbeat(m); });
 }
@@ -42,9 +45,10 @@ void FailureDetector::tick() {
   const SimTime now = sim_.now();
   for (SiteId s = 0; s < net_.site_count(); ++s) {
     if (s == self_) continue;
-    const bool late = now - last_heard_[s] > config_.suspect_timeout;
+    const bool late = now - last_heard_[s] > timeout_[s];
     if (late && !suspected_[s]) {
       suspected_[s] = true;
+      ++stats_.suspicions;
       OTPDB_DEBUG("fd") << "site " << self_ << " suspects " << s;
       if (on_suspect_) on_suspect_(s);
     }
@@ -53,11 +57,28 @@ void FailureDetector::tick() {
 }
 
 void FailureDetector::on_heartbeat(const Message& msg) {
-  last_heard_[msg.from] = sim_.now();
+  const SimTime now = sim_.now();
+  const SimTime gap = now - last_heard_[msg.from];
+  last_heard_[msg.from] = now;
   if (suspected_[msg.from]) {
     suspected_[msg.from] = false;
+    ++stats_.restores;
+    // Hysteresis: the suspicion was premature (the peer is alive), so back
+    // off this peer's timeout before the next round of lateness.
+    if (config_.timeout_backoff > 1.0) {
+      const auto cap = static_cast<SimTime>(static_cast<double>(config_.suspect_timeout) *
+                                            config_.max_timeout_factor);
+      timeout_[msg.from] = std::min(
+          cap, static_cast<SimTime>(static_cast<double>(timeout_[msg.from]) *
+                                    config_.timeout_backoff));
+    }
     OTPDB_DEBUG("fd") << "site " << self_ << " restores " << msg.from;
     if (on_restore_) on_restore_(msg.from);
+  } else if (timeout_[msg.from] > config_.suspect_timeout && gap <= 2 * config_.interval) {
+    // Timely heartbeat on a backed-off peer: decay one interval back toward
+    // the base timeout, so a healed link re-earns the fast detector.
+    timeout_[msg.from] =
+        std::max(config_.suspect_timeout, timeout_[msg.from] - config_.interval);
   }
 }
 

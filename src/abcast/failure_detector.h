@@ -1,10 +1,18 @@
 // Heartbeat-based failure detector (eventually-strong flavour).
 //
 // Every site multicasts a heartbeat each `interval`; a peer silent for longer
-// than `suspect_timeout` becomes suspected. Suspicion is revised when a
+// than its current timeout becomes suspected. Suspicion is revised when a
 // heartbeat arrives again (crash-recovery model: sites always recover). In the
 // simulated network message delays are eventually bounded, so the detector is
 // eventually accurate - which is all the consensus layer needs for liveness.
+//
+// Hysteresis against gray links (slow-but-alive peers, see net/fault_plan.h):
+// every restore is evidence the suspicion was premature, so the per-peer
+// timeout backs off multiplicatively (capped); sustained timely heartbeats
+// decay it back toward the base. A peer that keeps limping stops churning
+// suspect/restore cycles after a few rounds, while first-suspicion latency
+// for genuinely crashed peers is unchanged - backoff only ever starts after
+// a restore, which a crashed peer never produces.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +27,22 @@ namespace otpdb {
 struct FailureDetectorConfig {
   SimTime interval = 25 * kMillisecond;
   SimTime suspect_timeout = 120 * kMillisecond;
+  /// Per-peer timeout multiplier applied on every restore (<= 1 disables the
+  /// hysteresis and restores the pre-chaos fixed-timeout behavior).
+  double timeout_backoff = 2.0;
+  /// Cap on the backed-off timeout, as a multiple of `suspect_timeout`.
+  double max_timeout_factor = 8.0;
+};
+
+/// Churn counters; merge()-able across a cluster's detectors.
+struct FailureDetectorStats {
+  std::uint64_t suspicions = 0;
+  std::uint64_t restores = 0;
+
+  void merge(const FailureDetectorStats& other) {
+    suspicions += other.suspicions;
+    restores += other.restores;
+  }
 };
 
 class FailureDetector {
@@ -38,6 +62,11 @@ class FailureDetector {
   void set_on_suspect(std::function<void(SiteId)> fn) { on_suspect_ = std::move(fn); }
   void set_on_restore(std::function<void(SiteId)> fn) { on_restore_ = std::move(fn); }
 
+  /// Lifetime suspicion churn at this detector.
+  const FailureDetectorStats& stats() const { return stats_; }
+  /// The current (possibly backed-off) suspect timeout for `site`.
+  SimTime current_timeout(SiteId site) const { return timeout_[site]; }
+
  private:
   void tick();
   void on_heartbeat(const Message& msg);
@@ -47,7 +76,9 @@ class FailureDetector {
   SiteId self_;
   FailureDetectorConfig config_;
   std::vector<SimTime> last_heard_;
+  std::vector<SimTime> timeout_;  // per-peer adaptive suspect timeout
   std::vector<bool> suspected_;
+  FailureDetectorStats stats_;
   std::function<void(SiteId)> on_suspect_;
   std::function<void(SiteId)> on_restore_;
   bool started_ = false;

@@ -79,6 +79,12 @@ class OptAbcast final : public AtomicBroadcast {
   /// Next definitive index this site will assign (== TO-delivered count + 1).
   TOIndex next_index() const { return next_index_; }
 
+  /// Applied decisions by stage (also the recovery catch-up source). Exposed
+  /// for chaos-test forensics: agreement means these match across sites.
+  const std::map<std::uint64_t, std::vector<MsgId>>& decision_log() const {
+    return decision_log_;
+  }
+
   // -- Crash recovery (paper model: sites always recover) -------------------
   //
   // A crash wipes this endpoint's volatile protocol state (arrived bodies,

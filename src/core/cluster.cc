@@ -57,6 +57,11 @@ void Cluster::build(ReplicaFactory factory) {
   // classic mode both are the one simulator.
   net_ = std::make_unique<Network>(sim(), config_.n_sites, config_.net, rng_.split());
   if (engine_) net_->attach_engine(*engine_);
+  if (config_.chaos.enabled()) {
+    // Armed with its own split AFTER the network's, so a chaos-off run draws
+    // the exact same streams as a pre-chaos build.
+    net_->arm_chaos(config_.chaos, rng_.split());
+  }
 
   for (SiteId s = 0; s < config_.n_sites; ++s) {
     fds_.push_back(std::make_unique<FailureDetector>(site_sim(s), *net_, s, config_.fd));

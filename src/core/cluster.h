@@ -50,6 +50,12 @@ struct ClusterConfig {
   /// behavior) or the group-commit WAL backend (db/durable_store.h).
   StorageConfig storage;
 
+  /// Declarative network-chaos plan (net/fault_plan.h): timed duplication,
+  /// reordering, one-way partitions, flapping, and gray links, executed
+  /// deterministically from a dedicated rng split. An empty plan leaves the
+  /// run bit-identical to pre-chaos builds.
+  ChaosConfig chaos;
+
   /// Driver selection: threads == 1 (default) runs the classic single-queue
   /// loop; threads >= 2 (or force_sharded) runs the site-sharded engine with
   /// conservative lookahead windows (see sim/sharded_engine.h). All sharded
@@ -108,6 +114,16 @@ class Cluster {
   const WalStats* wal_stats(SiteId site) const { return backends_[site]->wal_stats(); }
   AtomicBroadcast& abcast(SiteId site) { return *abcasts_[site]; }
   FailureDetector& failure_detector(SiteId site) { return *fds_[site]; }
+
+  /// Aggregated chaos-plane counters (all zero when no plan is armed).
+  ChaosStats chaos_stats() const { return net_->chaos_stats(); }
+  /// Suspicion churn across all failure detectors: total suspicions raised
+  /// and later revised (a restore == one false or healed suspicion).
+  FailureDetectorStats fd_stats() const {
+    FailureDetectorStats total;
+    for (const auto& fd : fds_) total.merge(fd->stats());
+    return total;
+  }
 
   /// The OTP view of a replica, or nullptr if a different engine runs there.
   OtpReplica* otp(SiteId site);

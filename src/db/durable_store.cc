@@ -35,8 +35,14 @@ DurableStore::DurableStore(Simulator& sim, const StorageConfig& config,
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   OTPDB_CHECK_MSG(!ec, "cannot create the durable data directory");
+  if (config_.faults.enabled) faulty_io_ = std::make_unique<FaultyIoEnv>(config_.faults);
   active_seq_ = 1;
-  OTPDB_CHECK_MSG(writer_.open(segment_path(active_seq_)), "cannot open the WAL segment");
+  if (!writer_.open(segment_path(active_seq_), io())) {
+    // Injector (or a real EIO) hit the very first open: start degraded; the
+    // first flush retries the open.
+    ++stats_.io_errors;
+    health_ = StorageHealth::degraded;
+  }
 }
 
 DurableStore::~DurableStore() = default;
@@ -46,34 +52,36 @@ std::filesystem::path DurableStore::segment_path(std::uint64_t seq) const {
 }
 
 void DurableStore::load(ObjectId obj, Value value) {
-  wal::append_load(pending_, obj, value);
+  if (health_ != StorageHealth::failed) wal::append_load(pending_, obj, value);
   store_.load(obj, std::move(value));
   schedule_flush();
 }
 
 void DurableStore::commit(TxnId txn, TOIndex index, std::span<const ClassId> classes) {
-  // Encode from the provisional write-set BEFORE the in-memory commit
-  // consumes it. The span is already sorted by object, so the record bytes
-  // are identical at every site.
-  wal::append_commit(pending_, index, classes, store_.provisional_writes(txn));
-  ++pending_count_;
-  ++stats_.commits_logged;
-  // max(), not plain assignment: the class-queue engines commit a class's
-  // transactions in ascending definitive order, but the lock-table engine
-  // serializes per object, so same-class commits may interleave.
-  for (ClassId c : classes) {
-    if (c < pending_watermark_.size()) {
-      pending_watermark_[c] = std::max(pending_watermark_[c], index);
+  if (health_ != StorageHealth::failed) {
+    // Encode from the provisional write-set BEFORE the in-memory commit
+    // consumes it. The span is already sorted by object, so the record bytes
+    // are identical at every site.
+    wal::append_commit(pending_, index, classes, store_.provisional_writes(txn));
+    ++pending_count_;
+    ++stats_.commits_logged;
+    // max(), not plain assignment: the class-queue engines commit a class's
+    // transactions in ascending definitive order, but the lock-table engine
+    // serializes per object, so same-class commits may interleave.
+    for (ClassId c : classes) {
+      if (c < pending_watermark_.size()) {
+        pending_watermark_[c] = std::max(pending_watermark_[c], index);
+      }
     }
+    pending_max_index_ = std::max(pending_max_index_, index);
   }
-  pending_max_index_ = std::max(pending_max_index_, index);
   store_.commit(txn, index);
   schedule_flush();
   schedule_checkpoint();
 }
 
 void DurableStore::schedule_flush() {
-  if (flush_scheduled_ || down_) return;
+  if (flush_scheduled_ || down_ || health_ == StorageHealth::failed) return;
   flush_scheduled_ = true;
   const SimTime at = std::max(sim_.now() + config_.flush_window, next_flush_allowed_);
   flush_event_ = sim_.schedule_at(at, [this] {
@@ -91,20 +99,86 @@ void DurableStore::flush_now() {
 }
 
 void DurableStore::flush() {
-  if (down_ || pending_.empty()) return;  // crashed: the unflushed tail waits (or dies)
-  OTPDB_CHECK_MSG(writer_.append_and_sync(pending_.data(), pending_.size()),
-                  "WAL append failed");
-  ++stats_.fsyncs;
-  stats_.wal_bytes += pending_.size();
-  if (pending_count_ > 0) stats_.group_commit_batch.add(static_cast<double>(pending_count_));
-  durable_watermark_ = pending_watermark_;
-  durable_max_index_ = std::max(durable_max_index_, pending_max_index_);
-  active_max_index_ = std::max(active_max_index_, pending_max_index_);
-  pending_.clear();
-  pending_count_ = 0;
-  pending_max_index_ = 0;
-  next_flush_allowed_ = sim_.now() + config_.fsync_latency;
-  if (writer_.size() >= config_.segment_bytes) roll_segment();
+  if (down_) return;  // crashed: the unflushed tail waits (or dies)
+  if (health_ == StorageHealth::failed) return;
+  if (!writer_.is_open()) {
+    if (!writer_.open(segment_path(active_seq_), io())) {
+      // A previous failure (or a failed roll) left the segment closed and its
+      // tail already clean; nothing new was written, so just retry later.
+      ++stats_.io_errors;
+      note_flush_failure(/*tail_clean=*/true);
+      return;
+    }
+    if (pending_.empty()) {
+      // Retry after a failed roll with nothing buffered: the successful
+      // magic write + sync is the health probe, so the store returns to ok
+      // instead of sitting degraded until the next commit.
+      consecutive_flush_failures_ = 0;
+      health_ = StorageHealth::ok;
+      return;
+    }
+  }
+  if (pending_.empty()) return;
+  if (writer_.append_and_sync(pending_.data(), pending_.size())) {
+    consecutive_flush_failures_ = 0;
+    health_ = StorageHealth::ok;
+    ++stats_.fsyncs;
+    stats_.wal_bytes += pending_.size();
+    if (pending_count_ > 0) stats_.group_commit_batch.add(static_cast<double>(pending_count_));
+    durable_watermark_ = pending_watermark_;
+    durable_max_index_ = std::max(durable_max_index_, pending_max_index_);
+    active_max_index_ = std::max(active_max_index_, pending_max_index_);
+    pending_.clear();
+    pending_count_ = 0;
+    pending_max_index_ = 0;
+    next_flush_allowed_ = sim_.now() + config_.fsync_latency;
+    if (writer_.size() >= config_.segment_bytes) roll_segment();
+    return;
+  }
+  // The write or fsync failed: a garbage prefix of the batch may sit past
+  // the last synced byte (torn write), or the whole batch may be dirty in
+  // the page cache (failed fsync). Either way the batch is NOT durable.
+  // Close, cut the file back to the last synced length, and retry the whole
+  // batch - never append after un-truncated garbage (recovery's tail-only
+  // corruption invariant depends on it).
+  ++stats_.io_errors;
+  const std::uint64_t last_synced = writer_.size();
+  writer_.close();
+  const bool tail_clean = wal::truncate_file(segment_path(active_seq_), last_synced, io());
+  if (tail_clean && consecutive_flush_failures_ >= 1) {
+    // Second consecutive failure on this segment: assume the file (block)
+    // is bad, seal it at its valid prefix and move on to a fresh one.
+    sealed_.push_back(SealedSegment{active_seq_, active_max_index_});
+    ++active_seq_;
+    active_max_index_ = 0;
+    ++stats_.segments_sealed_on_error;
+  }
+  note_flush_failure(tail_clean);
+}
+
+void DurableStore::note_flush_failure(bool tail_clean) {
+  ++consecutive_flush_failures_;
+  if (!tail_clean || consecutive_flush_failures_ > config_.io_max_retries) {
+    // Un-cleanable garbage tail, or the device would not come back: stop
+    // logging (anything appended now would be discarded by recovery anyway)
+    // and surface it. The in-memory store keeps serving; watermarks freeze.
+    health_ = StorageHealth::failed;
+    pending_.clear();
+    pending_count_ = 0;
+    pending_max_index_ = 0;
+    pending_watermark_ = durable_watermark_;
+    return;
+  }
+  health_ = StorageHealth::degraded;
+  ++stats_.io_retries;
+  const int shift = std::min(consecutive_flush_failures_ - 1, 6);
+  const SimTime backoff = config_.io_retry_backoff << shift;
+  if (flush_scheduled_) sim_.cancel(flush_event_);
+  flush_scheduled_ = true;
+  flush_event_ = sim_.schedule_at(sim_.now() + backoff, [this] {
+    flush_scheduled_ = false;
+    flush();
+  });
 }
 
 void DurableStore::roll_segment() {
@@ -112,7 +186,13 @@ void DurableStore::roll_segment() {
   writer_.close();
   ++active_seq_;
   active_max_index_ = 0;
-  OTPDB_CHECK_MSG(writer_.open(segment_path(active_seq_)), "cannot open the WAL segment");
+  if (!writer_.open(segment_path(active_seq_), io())) {
+    // Leave the writer closed and schedule a retry through the flush ladder
+    // (degraded -> ok on a later successful open, failed if the device stays
+    // bad). Without the retry an idle store would sit degraded forever.
+    ++stats_.io_errors;
+    note_flush_failure(/*tail_clean=*/true);
+  }
 }
 
 void DurableStore::schedule_checkpoint() {
@@ -129,6 +209,14 @@ void DurableStore::do_checkpoint() {
   // The snapshot must cover exactly the durable watermarks, so everything
   // buffered goes to disk first.
   flush_now();
+  if (!pending_.empty() || health_ != StorageHealth::ok) {
+    // The flush failed (or the store is failed): the in-memory chains run
+    // ahead of the durable watermarks, so a snapshot now would advance the
+    // checkpoint past what the log can justify. Defer to a later cycle.
+    ++stats_.checkpoints_skipped;
+    if (health_ != StorageHealth::failed) schedule_checkpoint();
+    return;
+  }
 
   wal::CheckpointData data;
   data.class_watermarks = durable_watermark_;
@@ -139,8 +227,14 @@ void DurableStore::do_checkpoint() {
     for (const auto& v : chain) versions.emplace_back(v.index, v.value);
     data.chains.emplace_back(obj, std::move(versions));
   });
-  OTPDB_CHECK_MSG(wal::write_checkpoint(dir_ / kCheckpointFile, data),
-                  "checkpoint write failed");
+  if (!wal::write_checkpoint(dir_ / kCheckpointFile, data, io())) {
+    // Temp-file + rename means the previous checkpoint survives untouched;
+    // just count it and try again next cycle.
+    ++stats_.io_errors;
+    ++stats_.checkpoints_failed;
+    schedule_checkpoint();
+    return;
+  }
   ++stats_.checkpoints;
 
   // Seal the active segment so truncation below the new floor can consider
@@ -260,7 +354,15 @@ RecoveredState DurableStore::restart_from_disk() {
   }
 
   active_seq_ = last_seq + 1;
-  OTPDB_CHECK_MSG(writer_.open(segment_path(active_seq_)), "cannot open the WAL segment");
+  // A cold restart is the operator's "fresh disk" moment: reset the health
+  // ladder and try again (the injector, if armed, keeps drawing - the first
+  // open can fail right here and the first flush will retry it).
+  health_ = StorageHealth::ok;
+  consecutive_flush_failures_ = 0;
+  if (!writer_.open(segment_path(active_seq_), io())) {
+    ++stats_.io_errors;
+    health_ = StorageHealth::degraded;
+  }
 
   durable_watermark_ = watermarks;
   pending_watermark_ = watermarks;

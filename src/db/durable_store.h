@@ -23,10 +23,26 @@
 // A checkpoint flushes the pending buffer, snapshots all committed chains +
 // per-class watermarks, rolls the active segment, then deletes every sealed
 // segment whose records all fall at or below the new watermark floor.
+//
+// I/O failure policy (all I/O goes through an IoEnv - injectable, see
+// db/io_shim.h): a failed write or fsync may have persisted a garbage prefix
+// of the batch, so the store closes the segment, truncates it back to the
+// last SYNCED byte (SegmentWriter::size() never counts a failed append), and
+// retries the whole batch with doubled backoff - health() reads `degraded`
+// while retries are in flight. Recovery's invariant (corruption appears only
+// at the tail of the last segment) is preserved because nothing is ever
+// appended after un-truncated garbage. After two consecutive failures the
+// segment is sealed at its valid prefix and a fresh file is tried (bad-block
+// model); if the tail cannot be cleaned or retries exhaust io_max_retries,
+// the store goes `failed`: it stops logging, freezes the durable watermarks,
+// and keeps serving from memory - surfaced, never silent. Checkpoints are
+// skipped while a flush failure is pending (the snapshot must not outrun the
+// durable watermarks) and rescheduled.
 #pragma once
 
 #include <cstdint>
 #include <filesystem>
+#include <memory>
 #include <vector>
 
 #include "db/storage_backend.h"
@@ -45,6 +61,12 @@ struct WalStats {
   std::uint64_t segments_truncated = 0;  ///< sealed segments GC'd
   std::uint64_t replayed_commits = 0;  ///< WAL commits re-applied on restart
   std::uint64_t checkpoint_restores = 0;  ///< restarts that found a valid checkpoint
+  // Failure-path counters (see the error-handling note in the class comment).
+  std::uint64_t io_errors = 0;           ///< failed writes/fsyncs/opens observed
+  std::uint64_t io_retries = 0;          ///< flush retries scheduled after a failure
+  std::uint64_t segments_sealed_on_error = 0;  ///< segments abandoned at their valid prefix
+  std::uint64_t checkpoints_skipped = 0;  ///< checkpoints deferred (flush failure pending)
+  std::uint64_t checkpoints_failed = 0;   ///< checkpoint writes that errored
   /// Commits per fsync - the group-commit batch size distribution.
   Histogram group_commit_batch{0.5, 64.5, 64};
 };
@@ -64,6 +86,10 @@ class DurableStore final : public StorageBackend {
   void reopen() override;
   RecoveredState restart_from_disk() override;
   const WalStats* wal_stats() const override { return &stats_; }
+  StorageHealth health() const override { return health_; }
+  const IoFaultStats* io_fault_stats() const override {
+    return faulty_io_ ? &faulty_io_->stats() : nullptr;
+  }
 
   /// Durable watermark for one class (commits <= this index are fsynced).
   TOIndex durable_watermark(ClassId klass) const { return durable_watermark_[klass]; }
@@ -77,15 +103,21 @@ class DurableStore final : public StorageBackend {
   void schedule_flush();
   void flush_now();
   void flush();
+  /// Bookkeeping after a failed flush attempt: degrade (retry with doubled
+  /// backoff) while attempts remain and the tail is clean, else fail hard
+  /// (stop logging, drop the buffer, freeze the watermarks).
+  void note_flush_failure(bool tail_clean);
   void schedule_checkpoint();
   void do_checkpoint();
   void truncate_below(TOIndex floor);
   void roll_segment();
   std::filesystem::path segment_path(std::uint64_t seq) const;
+  IoEnv& io() { return faulty_io_ ? *faulty_io_ : IoEnv::real(); }
 
   Simulator& sim_;
   StorageConfig config_;
   std::filesystem::path dir_;
+  std::unique_ptr<FaultyIoEnv> faulty_io_;  ///< set when config_.faults.enabled
 
   wal::SegmentWriter writer_;
   std::uint64_t active_seq_ = 0;
@@ -107,6 +139,9 @@ class DurableStore final : public StorageBackend {
   bool checkpoint_scheduled_ = false;
   EventId checkpoint_event_;
   bool down_ = false;                     ///< crashed: events no-op until reopen
+
+  StorageHealth health_ = StorageHealth::ok;
+  int consecutive_flush_failures_ = 0;
 
   WalStats stats_;
 };

@@ -1,0 +1,63 @@
+#include "db/io_shim.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace otpdb {
+
+int IoEnv::open(const char* path, int flags, int mode) { return ::open(path, flags, mode); }
+
+ssize_t IoEnv::write(int fd, const void* buf, std::size_t n) { return ::write(fd, buf, n); }
+
+int IoEnv::fsync(int fd) { return ::fsync(fd); }
+
+int IoEnv::close(int fd) { return ::close(fd); }
+
+int IoEnv::truncate(const char* path, off_t length) { return ::truncate(path, length); }
+
+int IoEnv::rename(const char* from, const char* to) { return ::rename(from, to); }
+
+IoEnv& IoEnv::real() {
+  static IoEnv env;
+  return env;
+}
+
+ssize_t FaultyIoEnv::write(int fd, const void* buf, std::size_t n) {
+  if (faults_.enabled && armed()) {
+    // Draw both faults unconditionally so the rng stream does not depend on
+    // which one fires - the schedule stays stable when probabilities change.
+    const bool tear = rng_.bernoulli(faults_.torn_write_prob);
+    const bool fail = rng_.bernoulli(faults_.write_error_prob);
+    if (tear) {
+      ++stats_.torn_writes;
+      // The ugly case: a prefix reaches the file, then the device errors.
+      // The caller sees -1 and must assume garbage past its last-synced
+      // offset.
+      if (n > 1) (void)::write(fd, buf, n / 2);
+      errno = EIO;
+      return -1;
+    }
+    if (fail) {
+      ++stats_.writes_failed;
+      errno = EIO;
+      return -1;
+    }
+  }
+  return ::write(fd, buf, n);
+}
+
+int FaultyIoEnv::fsync(int fd) {
+  if (faults_.enabled && armed() && rng_.bernoulli(faults_.fsync_error_prob)) {
+    ++stats_.fsyncs_failed;
+    // No real fsync: the written bytes sit in the page cache, durable only
+    // by luck - exactly the ambiguity a failed fsync leaves on real disks.
+    errno = EIO;
+    return -1;
+  }
+  return ::fsync(fd);
+}
+
+}  // namespace otpdb

@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "db/io_shim.h"
 #include "db/versioned_store.h"
 #include "net/message.h"  // SiteId
 #include "sim/simulator.h"
@@ -32,6 +33,17 @@ namespace otpdb {
 struct WalStats;  // db/durable_store.h
 
 enum class StorageBackendKind { memory, durable };
+
+/// Durable-tier health, surfaced instead of silent failure:
+///   ok       - logging normally.
+///   degraded - an I/O error was hit; the tail was sealed at the last synced
+///              byte and retries with backoff are in flight. Commits remain
+///              visible (the paper's in-memory processing), durability lags.
+///   failed   - retries exhausted or the tail could not be cleaned; logging
+///              has stopped and the durable watermarks are frozen. The site
+///              keeps serving from memory; a cold restart_from_disk() (after
+///              the operator replaces the device) starts a fresh attempt.
+enum class StorageHealth { ok, degraded, failed };
 
 /// Per-cluster storage configuration (ClusterConfig::storage).
 struct StorageConfig {
@@ -50,6 +62,15 @@ struct StorageConfig {
   SimTime checkpoint_interval = 1 * kSecond;
   /// Segment roll threshold; smaller segments truncate at a finer grain.
   std::uint64_t segment_bytes = 1 << 20;
+  /// First retry delay after a failed flush; doubles per consecutive failure.
+  SimTime io_retry_backoff = 10 * kMillisecond;
+  /// Consecutive failed flush attempts before the site goes
+  /// StorageHealth::failed and stops logging.
+  int io_max_retries = 8;
+  /// Storage fault injection (EIO / torn writes / failed fsyncs); off by
+  /// default. make_storage_backend() derives a per-site seed from
+  /// `faults.seed`, so every site draws an independent schedule.
+  StorageFaults faults;
 };
 
 /// What restart_from_disk() recovered; the Cluster feeds this to the replica
@@ -110,6 +131,12 @@ class StorageBackend {
 
   /// WAL counters, or nullptr for backends that keep no log.
   virtual const WalStats* wal_stats() const { return nullptr; }
+
+  /// Durable-tier health; memory backends are always ok.
+  virtual StorageHealth health() const { return StorageHealth::ok; }
+
+  /// Injection counters, or nullptr when no fault injector is armed.
+  virtual const IoFaultStats* io_fault_stats() const { return nullptr; }
 
  protected:
   VersionedStore store_;

@@ -286,9 +286,10 @@ std::string segment_name(std::uint64_t seq) {
   return buf;
 }
 
-bool SegmentWriter::open(const std::filesystem::path& path) {
+bool SegmentWriter::open(const std::filesystem::path& path, IoEnv& io) {
   close();
-  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  io_ = &io;
+  fd_ = io_->open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
   if (fd_ < 0) return false;
   const off_t existing = ::lseek(fd_, 0, SEEK_END);
   if (existing > 0) {
@@ -296,13 +297,21 @@ bool SegmentWriter::open(const std::filesystem::path& path) {
     return true;
   }
   size_ = 0;
-  return append_and_sync(reinterpret_cast<const std::uint8_t*>(kSegmentMagic),
-                         sizeof(kSegmentMagic));
+  if (!append_and_sync(reinterpret_cast<const std::uint8_t*>(kSegmentMagic),
+                       sizeof(kSegmentMagic))) {
+    // A torn magic write would leave a file that scans as "bad magic, not
+    // clean" - worse than no file. The caller retries open() later.
+    close();
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    return false;
+  }
+  return true;
 }
 
 void SegmentWriter::close() {
   if (fd_ >= 0) {
-    ::close(fd_);
+    io_->close(fd_);
     fd_ = -1;
   }
   size_ = 0;
@@ -312,20 +321,20 @@ bool SegmentWriter::append_and_sync(const std::uint8_t* data, std::size_t n) {
   OTPDB_CHECK_MSG(fd_ >= 0, "append on a closed WAL segment");
   std::size_t done = 0;
   while (done < n) {
-    const ssize_t w = ::write(fd_, data + done, n - done);
+    const ssize_t w = io_->write(fd_, data + done, n - done);
     if (w < 0) return false;
     done += static_cast<std::size_t>(w);
   }
-  if (::fsync(fd_) != 0) return false;
+  if (io_->fsync(fd_) != 0) return false;
   size_ += n;
   return true;
 }
 
-bool truncate_file(const std::filesystem::path& path, std::uint64_t valid_bytes) {
-  return ::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) == 0;
+bool truncate_file(const std::filesystem::path& path, std::uint64_t valid_bytes, IoEnv& io) {
+  return io.truncate(path.c_str(), static_cast<off_t>(valid_bytes)) == 0;
 }
 
-bool write_checkpoint(const std::filesystem::path& path, const CheckpointData& data) {
+bool write_checkpoint(const std::filesystem::path& path, const CheckpointData& data, IoEnv& io) {
   std::vector<std::uint8_t> payload;
   put_u32(payload, static_cast<std::uint32_t>(data.class_watermarks.size()));
   for (TOIndex w : data.class_watermarks) put_u64(payload, w);
@@ -347,24 +356,24 @@ bool write_checkpoint(const std::filesystem::path& path, const CheckpointData& d
 
   const std::filesystem::path tmp = path.string() + ".tmp";
   {
-    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    const int fd = io.open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
     if (fd < 0) return false;
     std::size_t done = 0;
     while (done < bytes.size()) {
-      const ssize_t w = ::write(fd, bytes.data() + done, bytes.size() - done);
+      const ssize_t w = io.write(fd, bytes.data() + done, bytes.size() - done);
       if (w < 0) {
-        ::close(fd);
+        io.close(fd);
         return false;
       }
       done += static_cast<std::size_t>(w);
     }
-    const bool synced = ::fsync(fd) == 0;
-    ::close(fd);
+    const bool synced = io.fsync(fd) == 0;
+    io.close(fd);
     if (!synced) return false;
   }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  return !ec;
+  // The failed-rename (or failed-fsync) path leaves the temp file behind and
+  // the previous checkpoint intact - recovery ignores "*.tmp".
+  return io.rename(tmp.c_str(), path.c_str()) == 0;
 }
 
 bool read_checkpoint(const std::filesystem::path& path, CheckpointData& out) {

@@ -41,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "db/io_shim.h"
 #include "db/value.h"
 #include "util/types.h"
 
@@ -93,7 +94,8 @@ ScanResult scan_segment(const std::filesystem::path& path, const ScanCallbacks& 
 /// Name of segment `seq` ("wal-0000000001.log").
 std::string segment_name(std::uint64_t seq);
 
-/// Appends raw bytes to a log segment with POSIX write + fsync.
+/// Appends raw bytes to a log segment with write + fsync through an IoEnv
+/// (injectable for storage-fault testing - see db/io_shim.h).
 /// One writer owns one segment at a time.
 class SegmentWriter {
  public:
@@ -103,24 +105,29 @@ class SegmentWriter {
   SegmentWriter& operator=(const SegmentWriter&) = delete;
 
   /// Opens (creating if needed) `path` for append; writes the magic into a
-  /// fresh file. Returns false on I/O error.
-  bool open(const std::filesystem::path& path);
+  /// fresh file. Returns false on I/O error. `io` must outlive the writer.
+  bool open(const std::filesystem::path& path, IoEnv& io = IoEnv::real());
   void close();
   bool is_open() const { return fd_ >= 0; }
 
-  /// write() + fsync() of one group-commit batch. Returns false on I/O error.
+  /// write() + fsync() of one group-commit batch. Returns false on I/O
+  /// error; size() then still reports the last-known-good synced length (a
+  /// failed write may have persisted a garbage prefix beyond it - truncate
+  /// to size() before appending again).
   bool append_and_sync(const std::uint8_t* data, std::size_t n);
 
-  /// Bytes in the segment (magic included).
+  /// Synced bytes in the segment (magic included).
   std::uint64_t size() const { return size_; }
 
  private:
   int fd_ = -1;
   std::uint64_t size_ = 0;
+  IoEnv* io_ = nullptr;
 };
 
 /// Truncates `path` to `valid_bytes` (cutting a torn tail before re-append).
-bool truncate_file(const std::filesystem::path& path, std::uint64_t valid_bytes);
+bool truncate_file(const std::filesystem::path& path, std::uint64_t valid_bytes,
+                   IoEnv& io = IoEnv::real());
 
 /// Serialized checkpoint payload: per-class watermarks + full version chains.
 struct CheckpointData {
@@ -132,7 +139,8 @@ struct CheckpointData {
 /// Atomically replaces `path` with the serialized checkpoint: writes a temp
 /// file in the same directory, fsyncs it, then renames over `path`. Returns
 /// false on I/O error (the previous checkpoint, if any, survives).
-bool write_checkpoint(const std::filesystem::path& path, const CheckpointData& data);
+bool write_checkpoint(const std::filesystem::path& path, const CheckpointData& data,
+                      IoEnv& io = IoEnv::real());
 
 /// Reads and validates a checkpoint. Returns false (and leaves `out` empty)
 /// when the file is missing, torn or checksum-corrupt - the caller then

@@ -23,7 +23,8 @@ Network::Network(Simulator& sim, std::size_t n_sites, NetConfig config, Rng rng)
       partition_group_(n_sites, 0),
       delivered_by_(n_sites, 0),
       held_by_(n_sites),
-      arrival_logs_(n_sites) {
+      arrival_logs_(n_sites),
+      chaos_rows_(n_sites + 1) {
   OTPDB_CHECK(n_sites >= 1);
   if (switched_) {
     link_free_at_.assign(n_sites, 0);
@@ -115,10 +116,12 @@ void Network::deliver_now(std::uint32_t slot) {
   // ("a message sent by Ni to Nj is eventually received"), so the message
   // is retried until the partition heals or an endpoint crashes.
   if (crashed_[to] || crashed_[msg.from]) return;
-  if (partition_group_[msg.from] != partition_group_[to]) {
-    held_by_[to].push_back(std::move(msg));  // parked until the partition heals
+  if (partition_group_[msg.from] != partition_group_[to] ||
+      chaos_blocked(msg.from, to, chaos_hub_row())) {
+    held_by_[to].push_back(std::move(msg));  // parked until the block lifts
     return;
   }
+  if (duplicate_suppressed(to, msg, chaos_hub_row())) return;
   if (recorded_channel_ && msg.channel == *recorded_channel_) {
     arrival_logs_[to].push_back(msg.id);
   }
@@ -224,13 +227,23 @@ void Network::process_send(SendRequest& request) {
       // Loss + retransmission: each drop defers delivery by one timeout. The
       // channel stays reliable (paper model) but late arrivals perturb order.
       while (rng_.bernoulli(config_.loss_prob)) delay += config_.retransmit_timeout;
+      if (chaos_ != nullptr && to != from) {
+        const auto p = chaos_->perturb(from, to, request.at, chaos_rng_, chaos_hub_row());
+        delay += p.extra;
+        if (p.duplicate) deliver(to, msg, request.at + delay + p.duplicate_extra);
+      }
       deliver(to, msg, request.at + delay);
     }
   } else {
     SimTime delay = on_wire + sample_receiver_delay(rng_, edge_params(from, request.to));
     while (rng_.bernoulli(config_.loss_prob)) delay += config_.retransmit_timeout;
-    deliver(request.to, Message{request.id, from, request.channel, std::move(request.payload)},
-            request.at + delay);
+    Message msg{request.id, from, request.channel, std::move(request.payload)};
+    if (chaos_ != nullptr && request.to != from) {
+      const auto p = chaos_->perturb(from, request.to, request.at, chaos_rng_, chaos_hub_row());
+      delay += p.extra;
+      if (p.duplicate) deliver(request.to, msg, request.at + delay + p.duplicate_extra);
+    }
+    deliver(request.to, std::move(msg), request.at + delay);
   }
 }
 
@@ -255,15 +268,28 @@ void Network::process_send_switched(SendRequest& request) {
       Rng& rng = edge_rng(from, to);
       SimTime delay = on_wire + sample_receiver_delay(rng, edge_params(from, to));
       while (rng.bernoulli(config_.loss_prob)) delay += config_.retransmit_timeout;
+      if (chaos_ != nullptr && to != from) {
+        // Per-edge chaos stream + sender-owned stats row: both are touched
+        // only during the sending shard's phase, like the link clock above.
+        const auto p =
+            chaos_->perturb(from, to, request.at, chaos_edge_rng(from, to), chaos_row(from));
+        delay += p.extra;
+        if (p.duplicate) route_switched(from, to, msg, request.at + delay + p.duplicate_extra);
+      }
       route_switched(from, to, msg, request.at + delay);
     }
   } else {
     Rng& rng = edge_rng(from, request.to);
     SimTime delay = on_wire + sample_receiver_delay(rng, edge_params(from, request.to));
     while (rng.bernoulli(config_.loss_prob)) delay += config_.retransmit_timeout;
-    route_switched(from, request.to,
-                   Message{request.id, from, request.channel, std::move(request.payload)},
-                   request.at + delay);
+    Message msg{request.id, from, request.channel, std::move(request.payload)};
+    if (chaos_ != nullptr && request.to != from) {
+      const auto p = chaos_->perturb(from, request.to, request.at,
+                                     chaos_edge_rng(from, request.to), chaos_row(from));
+      delay += p.extra;
+      if (p.duplicate) route_switched(from, request.to, msg, request.at + delay + p.duplicate_extra);
+    }
+    route_switched(from, request.to, std::move(msg), request.at + delay);
   }
 }
 
@@ -299,10 +325,12 @@ void Network::deliver_switched_now(SiteId to, Message msg) {
   // only mutates in hub phases (or between runs), which the engine barrier
   // orders against every site phase.
   if (crashed_[to] || crashed_[msg.from]) return;
-  if (partition_group_[msg.from] != partition_group_[to]) {
-    held_by_[to].push_back(std::move(msg));  // parked until the partition heals
+  if (partition_group_[msg.from] != partition_group_[to] ||
+      chaos_blocked(msg.from, to, chaos_row(to))) {
+    held_by_[to].push_back(std::move(msg));  // parked until the block lifts
     return;
   }
+  if (duplicate_suppressed(to, msg, chaos_row(to))) return;
   if (recorded_channel_ && msg.channel == *recorded_channel_) {
     arrival_logs_[to].push_back(msg.id);
   }
@@ -366,22 +394,35 @@ void Network::partition(const std::vector<SiteId>& group_a, const std::vector<Si
 
 void Network::heal_partition() {
   std::fill(partition_group_.begin(), partition_group_.end(), 0);
-  // Reliable channels: everything parked during the split now flows, with a
-  // fresh receiver delay per message (modelling post-heal retransmission).
-  // Canonical replay order: receiver, then park order - worker-count
-  // independent (cells are parked by deterministic receiver-shard replays).
+  release_unblocked();
+}
+
+void Network::release_unblocked() {
+  // Reliable channels: everything parked during a split (or a chaos block)
+  // flows once every block on its edge has lifted, with a fresh receiver
+  // delay per message (modelling post-heal retransmission); still-blocked
+  // messages stay parked for the next transition. Canonical replay order:
+  // receiver, then park order - worker-count independent (cells are parked
+  // by deterministic receiver-shard replays).
   for (SiteId to = 0; to < site_count_; ++to) {
+    if (held_by_[to].empty()) continue;
     std::vector<Message> held = std::move(held_by_[to]);
     held_by_[to].clear();
     for (auto& msg : held) {
       const SiteId from = msg.from;
+      if (partition_group_[from] != partition_group_[to] ||
+          (chaos_ != nullptr && chaos_->blocked(from, to))) {
+        held_by_[to].push_back(std::move(msg));
+        continue;
+      }
+      if (chaos_ != nullptr) ++chaos_hub_row().parked_released;
       if (switched_) {
         const SimTime fire =
             sim_.now() + config_.retransmit_timeout +
             sample_receiver_delay(edge_rng(from, to), edge_params(from, to));
         // Channel clocks: the receiver's shard may already sit past the hub
-        // clock; clamp so the replay never lands in its local past. (Heal is
-        // a hub control event; the receiver can be at most one incoming
+        // clock; clamp so the replay never lands in its local past. (Release
+        // is a hub control event; the receiver can be at most one incoming
         // lookahead ahead, so the clamp moves the replay by < lookahead.)
         Simulator& target = engine_ != nullptr ? engine_->site(to) : sim_;
         schedule_delivery(to, std::move(msg), std::max(fire, target.now()));
@@ -392,6 +433,33 @@ void Network::heal_partition() {
       }
     }
   }
+}
+
+void Network::arm_chaos(const ChaosConfig& config, Rng chaos_rng) {
+  OTPDB_CHECK_MSG(chaos_ == nullptr && !dedup_, "chaos already armed");
+  chaos_rng_ = chaos_rng;
+  // Duplication makes "reliable" mean at-least-once; the abcast layer
+  // asserts at-most-once per MsgId, so dedup is mandatory whenever the plan
+  // can duplicate.
+  dedup_ = config.transport_dedup || config.plan.has(FaultKind::duplicate);
+  if (dedup_) seen_.resize(site_count_);
+  if (config.plan.empty()) return;
+  chaos_ = std::make_unique<ChaosRuntime>(config.plan, site_count_);
+  if (switched_) {
+    // One chaos stream per edge, mirroring edge_rngs_: sender-owned rows, so
+    // switched sharded sends can draw race-free on the sending shard.
+    chaos_edge_rngs_.reserve(site_count_ * site_count_);
+    for (std::size_t e = 0; e < site_count_ * site_count_; ++e) {
+      chaos_edge_rngs_.push_back(chaos_rng_.split());
+    }
+  }
+  chaos_->arm(sim_, [this] { release_unblocked(); }, chaos_hub_row());
+}
+
+ChaosStats Network::chaos_stats() const {
+  ChaosStats total;
+  for (const ChaosStats& row : chaos_rows_) total.merge(row);
+  return total;
 }
 
 void Network::record_arrivals(Channel channel) { recorded_channel_ = channel; }

@@ -58,9 +58,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
+#include <unordered_set>
 #include <vector>
 
+#include "net/fault_plan.h"
 #include "net/message.h"
 #include "net/topology.h"
 #include "sim/sharded_engine.h"
@@ -162,6 +165,19 @@ class Network final : public SharedMedium {
   void partition(const std::vector<SiteId>& group_a, const std::vector<SiteId>& group_b);
   void heal_partition();
 
+  /// Arms the chaos plane: executes `config.plan` deterministically from
+  /// `chaos_rng` (split per edge in switched mode) and, when the plan can
+  /// duplicate or `config.transport_dedup` is set, suppresses re-deliveries
+  /// of already-seen MsgIds per receiver. Call once, before the run starts
+  /// (classic mode) or before the engine's first round (sharded mode); a run
+  /// without arm_chaos draws nothing from the chaos streams and is
+  /// bit-identical to pre-chaos builds.
+  void arm_chaos(const ChaosConfig& config, Rng chaos_rng);
+  bool chaos_armed() const { return chaos_ != nullptr || dedup_; }
+  /// Aggregated chaos counters (sums the per-shard rows; call between runs
+  /// or after quiesce, not mid-phase).
+  ChaosStats chaos_stats() const;
+
   /// Total messages delivered (for bench counters).
   std::uint64_t delivered_count() const {
     std::uint64_t n = 0;
@@ -211,6 +227,32 @@ class Network final : public SharedMedium {
 
   void dispatch(SiteId to, const Message& msg);
   SimTime send_clock() const;
+  /// Replays every parked message whose partition AND chaos blocks have
+  /// lifted, with a fresh post-heal receiver delay; still-blocked messages
+  /// stay parked. Hub control event (heal_partition, chaos transitions).
+  void release_unblocked();
+  /// True (and counted) when the chaos plane blocks this edge right now.
+  bool chaos_blocked(SiteId from, SiteId to, ChaosStats& row) {
+    if (chaos_ == nullptr || !chaos_->blocked(from, to)) return false;
+    ++row.deliveries_parked;
+    return true;
+  }
+  /// Dedup filter: true when this MsgId was already delivered to `to` and the
+  /// re-delivery must be suppressed. No-op unless dedup is armed.
+  bool duplicate_suppressed(SiteId to, const Message& msg, ChaosStats& row) {
+    if (!dedup_) return false;
+    if (seen_[to].insert(msg.id).second) return false;
+    ++row.duplicates_suppressed;
+    return true;
+  }
+  // Chaos stats rows: [0, n) owned by the matching site shard (send draws by
+  // sender in switched mode, delivery checks by receiver), [n] by the hub
+  // (flat-path draws, flat-path delivery checks, control events).
+  ChaosStats& chaos_row(SiteId site) { return chaos_rows_[site]; }
+  ChaosStats& chaos_hub_row() { return chaos_rows_[site_count_]; }
+  Rng& chaos_edge_rng(SiteId from, SiteId to) {
+    return chaos_edge_rngs_[from * site_count_ + to];
+  }
   const EdgeParams& edge_params(SiteId from, SiteId to) const {
     return topo_.flat() ? flat_edge_ : topo_.edge(from, to);
   }
@@ -248,6 +290,15 @@ class Network final : public SharedMedium {
   std::vector<std::vector<Message>> held_by_;     // per receiver, parked by a partition
   std::optional<Channel> recorded_channel_;
   std::vector<std::vector<MsgId>> arrival_logs_;
+
+  // Chaos plane (null/empty unless arm_chaos ran; the chaos rng streams are
+  // split lazily there, so chaos-off runs never perturb the base streams).
+  std::unique_ptr<ChaosRuntime> chaos_;
+  Rng chaos_rng_{0};                     // flat path: hub-owned draw stream
+  std::vector<Rng> chaos_edge_rngs_;     // switched path: [from*n+to], sender-owned
+  bool dedup_ = false;
+  std::vector<std::unordered_set<MsgId>> seen_;  // per receiver, receiver-owned
+  std::vector<ChaosStats> chaos_rows_;   // [site 0..n-1, hub]; see chaos_row()
 
   // Sharded-mode mailboxes (shared-bus path). outbox_[s] is written only by
   // the shard running site s's events (or the hub during its phase) and

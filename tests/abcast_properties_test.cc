@@ -86,6 +86,44 @@ TEST(AbcastLossy, PropertiesHoldUnderLossAndRetransmission) {
   }
 }
 
+// The at-least-once transport contract: a duplication clause re-delivers a
+// fifth of all frames (data, consensus, heartbeats alike) and the five
+// properties must not notice - exactly-once processing is the transport
+// dedup layer's job, not the protocol's.
+TEST(AbcastChaos, PropertiesHoldUnderDuplication) {
+  for (std::uint64_t seed : {3u, 13u, 23u}) {
+    for (Protocol protocol : {Protocol::optimistic, Protocol::sequencer}) {
+      AbcastHarness h(protocol, 4, calm_network(), seed);
+      ChaosConfig chaos;
+      chaos.plan.add(FaultPlan::duplicate(0.20, 0, 2 * kMillisecond));
+      h.net().arm_chaos(chaos, Rng(seed * 31));
+      h.broadcast_stream(80, 2 * kMillisecond);
+      h.sim().run_until(10 * kSecond);
+      h.check_properties(80);
+      EXPECT_GT(h.net().chaos_stats().duplicates_injected, 0u) << "seed " << seed;
+    }
+  }
+}
+
+// Bounded reordering: a slice of frames gets extra per-frame delay, so
+// arrival order diverges from send order on every link. Tentative orders may
+// scramble (that is the paper's whole premise) but the definitive order must
+// still satisfy all five properties on both protocols.
+TEST(AbcastChaos, PropertiesHoldUnderReordering) {
+  for (std::uint64_t seed : {4u, 14u, 24u}) {
+    for (Protocol protocol : {Protocol::optimistic, Protocol::sequencer}) {
+      AbcastHarness h(protocol, 4, calm_network(), seed);
+      ChaosConfig chaos;
+      chaos.plan.add(FaultPlan::reorder(0.15, kMillisecond, 6 * kMillisecond));
+      h.net().arm_chaos(chaos, Rng(seed * 37));
+      h.broadcast_stream(80, 2 * kMillisecond);
+      h.sim().run_until(10 * kSecond);
+      h.check_properties(80);
+      EXPECT_GT(h.net().chaos_stats().reorders_injected, 0u) << "seed " << seed;
+    }
+  }
+}
+
 TEST(AbcastFastPath, CalmNetworkUsesFastPath) {
   AbcastHarness h(Protocol::optimistic, 4, calm_network(), 42);
   h.broadcast_stream(100, 4 * kMillisecond);

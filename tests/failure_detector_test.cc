@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <vector>
+#include <functional>
 
 #include "abcast/failure_detector.h"
 #include "net/network.h"
@@ -13,9 +14,10 @@ namespace otpdb {
 namespace {
 
 struct FdFixture {
-  FdFixture(std::size_t n, std::uint64_t seed = 1) : net(sim, n, NetConfig{}, Rng(seed)) {
+  FdFixture(std::size_t n, std::uint64_t seed = 1, FailureDetectorConfig config = {})
+      : net(sim, n, NetConfig{}, Rng(seed)) {
     for (SiteId s = 0; s < n; ++s) {
-      fds.push_back(std::make_unique<FailureDetector>(sim, net, s, FailureDetectorConfig{}));
+      fds.push_back(std::make_unique<FailureDetector>(sim, net, s, config));
     }
     for (auto& fd : fds) fd->start();
   }
@@ -80,6 +82,100 @@ TEST(FailureDetector, CallbacksFire) {
   f.sim.run_until(2 * kSecond);
   EXPECT_EQ(suspected, 1);
   EXPECT_EQ(restored, 1);
+}
+
+// --- gray links and hysteresis (net/fault_plan.h chaos plane) ----------------
+
+/// Arms a gray link out of site 1: every frame it sends is delayed by a draw
+/// from [delay_min, delay_max) while the clause window is open. With draws
+/// around the suspect timeout, its heartbeat gaps at the peers stretch past
+/// it - the classic slow-but-alive peer that provokes false suspicions.
+void arm_gray_out_of_site1(Network& net, SimTime delay_min, SimTime delay_max, SimTime start,
+                           SimTime end) {
+  ChaosConfig chaos;
+  chaos.plan.add(FaultPlan::gray({1}, {}, delay_min, delay_max, start, end));
+  net.arm_chaos(chaos, Rng(99));
+}
+
+TEST(FailureDetector, GrayLinkProvokesFalseSuspicionThenRestores) {
+  FdFixture f(3);
+  arm_gray_out_of_site1(f.net, 100 * kMillisecond, 400 * kMillisecond, 300 * kMillisecond,
+                      2 * kSecond);
+  // Track the widest timeout the backoff reaches (it decays back to base once
+  // the link heals, so the end state alone cannot show it ever widened).
+  SimTime peak_timeout = 0;
+  std::function<void()> probe = [&f, &peak_timeout, &probe] {
+    peak_timeout = std::max(peak_timeout, f.fds[0]->current_timeout(1));
+    f.sim.schedule_at(f.sim.now() + 25 * kMillisecond, probe);
+  };
+  f.sim.schedule_at(25 * kMillisecond, probe);
+  f.sim.run_until(5 * kSecond);
+  const FailureDetectorStats& stats = f.fds[0]->stats();
+  EXPECT_GT(stats.suspicions, 0u) << "the gray link never stretched a heartbeat gap";
+  EXPECT_EQ(stats.restores, stats.suspicions) << "a gray link is not a crash";
+  EXPECT_FALSE(f.fds[0]->suspects(1)) << "eventual accuracy once the link heals";
+  EXPECT_GT(peak_timeout, FailureDetectorConfig{}.suspect_timeout)
+      << "each restore must widen the peer's timeout";
+}
+
+TEST(FailureDetector, HysteresisCutsSuspicionChurnVersusFixedTimeout) {
+  // A wide delay spread scatters the heartbeats so thinly that arrival gaps
+  // repeatedly straddle the base timeout, and the sparse arrivals (gaps over
+  // 2x interval) keep the decay from erasing the backoff mid-window - the
+  // regime where hysteresis earns its keep.
+  auto churn = [](double backoff) {
+    FailureDetectorConfig config;
+    config.timeout_backoff = backoff;
+    FdFixture f(3, /*seed=*/1, config);
+    arm_gray_out_of_site1(f.net, 0, 4 * kSecond, 300 * kMillisecond, 3 * kSecond);
+    f.sim.run_until(7 * kSecond);
+    return f.fds[0]->stats().suspicions;
+  };
+  const std::uint64_t fixed = churn(1.0);    // hysteresis disabled
+  const std::uint64_t adaptive = churn(2.0);  // default backoff
+  EXPECT_GT(fixed, adaptive)
+      << "the whole point of the backoff: fewer suspect/restore cycles on a limping link";
+  EXPECT_GT(adaptive, 0u) << "the first suspicion must still fire";
+}
+
+TEST(FailureDetector, BackedOffTimeoutDecaysOnceHeartbeatsAreTimelyAgain) {
+  FdFixture f(3);
+  arm_gray_out_of_site1(f.net, 100 * kMillisecond, 400 * kMillisecond, 300 * kMillisecond,
+                      2 * kSecond);
+  SimTime peak_timeout = 0;
+  std::function<void()> probe = [&f, &peak_timeout, &probe] {
+    peak_timeout = std::max(peak_timeout, f.fds[0]->current_timeout(1));
+    f.sim.schedule_at(f.sim.now() + 25 * kMillisecond, probe);
+  };
+  f.sim.schedule_at(25 * kMillisecond, probe);
+  f.sim.run_until(20 * kSecond);
+  ASSERT_GT(f.fds[0]->stats().restores, 0u);
+  ASSERT_GT(peak_timeout, FailureDetectorConfig{}.suspect_timeout) << "backoff never engaged";
+  // Sustained timely heartbeats walk the timeout back to base, one interval
+  // per beat - the detector forgets a healed link instead of staying numb.
+  EXPECT_EQ(f.fds[0]->current_timeout(1), FailureDetectorConfig{}.suspect_timeout);
+}
+
+TEST(FailureDetector, CrashDetectionLatencyUnchangedByHysteresis) {
+  // Backoff only engages after a restore, which a genuinely crashed peer
+  // never produces - so first-suspicion latency must be identical with the
+  // hysteresis on and off.
+  auto detect_at = [](double backoff) {
+    FailureDetectorConfig config;
+    config.timeout_backoff = backoff;
+    FdFixture f(3, /*seed=*/1, config);
+    SimTime at = -1;
+    f.fds[0]->set_on_suspect([&f, &at](SiteId s) {
+      if (s == 1 && at < 0) at = f.sim.now();
+    });
+    f.sim.schedule_at(500 * kMillisecond, [&f] { f.net.crash(1); });
+    f.sim.run_until(3 * kSecond);
+    return at;
+  };
+  const SimTime with_backoff = detect_at(2.0);
+  const SimTime without = detect_at(1.0);
+  EXPECT_GT(with_backoff, 0);
+  EXPECT_EQ(with_backoff, without);
 }
 
 TEST(FailureDetector, PartitionLooksLikeCrash) {

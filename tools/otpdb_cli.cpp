@@ -45,10 +45,27 @@ int usage() {
                "              --threads=N (1 = classic loop, >=2 = sharded parallel driver)\n"
                "              --topology=PROFILE (network shape; see below)\n"
                "              --storage=memory|durable --data-dir=PATH\n"
+               "              --chaos=PROFILE (fault schedule; see below)\n"
                "  tpcc:       --warehouses=N --sites=N --rate=TXN/S/SITE --seconds=S\n"
                "              --skew=THETA --remote-frac=F --seed=N --threads=N\n"
                "              --topology=PROFILE --storage=memory|durable --data-dir=PATH\n"
+               "              --chaos=PROFILE\n"
                "  spontorder: --interval-ms=MS --messages=N --sites=N --seed=N\n"
+               "\n"
+               "chaos profiles (--chaos):\n"
+               "  %s\n"
+               "  dup-heavy  20%% message duplication + 5%% bounded reordering\n"
+               "             (transport dedup absorbs the copies)\n"
+               "  gray-wan   slow-but-alive links into the last site + a flapping\n"
+               "             edge; provokes false suspicions the failure\n"
+               "             detector's hysteresis must ride out\n"
+               "  asym-flap  one-way partition toward the last site plus a\n"
+               "             flapping reverse edge and light duplication\n"
+               "  flaky-disk injected EIO/short-write/failed-fsync storage faults\n"
+               "             (requires --storage=durable) + light duplication\n"
+               "  Every profile is deterministic for a given --seed; runs end\n"
+               "  with the same serializability/audit checks, so a green run\n"
+               "  means the stack survived the schedule.\n"
                "\n"
                "storage (--storage):\n"
                "  memory   in-memory multi-version store only (default)\n"
@@ -61,7 +78,7 @@ int usage() {
                "  flat/lan ride the shared-bus medium; metro/wan/geo-3dc are\n"
                "  switched (per-site-pair delay matrix, per-edge jitter streams,\n"
                "  channel-clock parallel driver with --threads >= 2)\n",
-               topology_profile_list());
+               chaos_profile_list(), topology_profile_list());
   return 2;
 }
 
@@ -94,6 +111,74 @@ bool apply_storage_flags(const Flags& flags, ClusterConfig& config) {
     return false;
   }
   return true;
+}
+
+/// Parses --chaos into `config` (network plan + storage faults). Called after
+/// storage flags (flaky-disk needs the durable backend) with the run's
+/// duration so profiles can scale their schedules.
+bool apply_chaos_flag(const Flags& flags, ClusterConfig& config, SimTime duration) {
+  const std::string name = flags.get("chaos", "");
+  if (name.empty()) return true;
+  ChaosProfile profile;
+  if (!parse_chaos_profile(name, config.n_sites, duration, profile)) {
+    std::fprintf(stderr, "unknown --chaos=%s (profiles: %s)\n", name.c_str(),
+                 chaos_profile_list());
+    return false;
+  }
+  config.chaos = profile.net;
+  if (profile.flaky_disk) {
+    if (config.storage.backend != StorageBackendKind::durable) {
+      std::fprintf(stderr, "--chaos=%s injects storage faults; add --storage=durable\n",
+                   name.c_str());
+      return false;
+    }
+    config.storage.faults.enabled = true;
+    config.storage.faults.seed = config.seed;
+    config.storage.faults.write_error_prob = 0.02;
+    config.storage.faults.torn_write_prob = 0.01;
+    config.storage.faults.fsync_error_prob = 0.02;
+  }
+  return true;
+}
+
+/// One line of injected-fault accounting + how the stack absorbed it.
+void print_chaos_summary(Cluster& cluster) {
+  if (!cluster.net().chaos_armed() && !cluster.config().storage.faults.enabled) return;
+  const ChaosStats cs = cluster.chaos_stats();
+  const FailureDetectorStats fd = cluster.fd_stats();
+  std::printf("  chaos plane        : %llu dups (%llu suppressed), %llu reorders, "
+              "%llu gray delays, %llu parked/%llu released, %llu flaps\n",
+              static_cast<unsigned long long>(cs.duplicates_injected),
+              static_cast<unsigned long long>(cs.duplicates_suppressed),
+              static_cast<unsigned long long>(cs.reorders_injected),
+              static_cast<unsigned long long>(cs.gray_delays),
+              static_cast<unsigned long long>(cs.deliveries_parked),
+              static_cast<unsigned long long>(cs.parked_released),
+              static_cast<unsigned long long>(cs.flap_transitions));
+  std::printf("  suspicion churn    : %llu suspicions, %llu restored\n",
+              static_cast<unsigned long long>(fd.suspicions),
+              static_cast<unsigned long long>(fd.restores));
+  if (cluster.config().storage.faults.enabled) {
+    std::uint64_t injected = 0, io_errors = 0, io_retries = 0, sealed = 0;
+    int degraded = 0, failed = 0;
+    for (SiteId s = 0; s < cluster.site_count(); ++s) {
+      if (const IoFaultStats* f = cluster.storage(s).io_fault_stats()) injected += f->injected();
+      if (const WalStats* w = cluster.wal_stats(s)) {
+        io_errors += w->io_errors;
+        io_retries += w->io_retries;
+        sealed += w->segments_sealed_on_error;
+      }
+      const StorageHealth h = cluster.storage(s).health();
+      degraded += h == StorageHealth::degraded;
+      failed += h == StorageHealth::failed;
+    }
+    std::printf("  storage faults     : %llu injected -> %llu errors seen, %llu retries, "
+                "%llu segments sealed; health: %d degraded, %d failed\n",
+                static_cast<unsigned long long>(injected),
+                static_cast<unsigned long long>(io_errors),
+                static_cast<unsigned long long>(io_retries),
+                static_cast<unsigned long long>(sealed), degraded, failed);
+  }
 }
 
 ReplicaFactory make_factory(const std::string& engine) {
@@ -189,8 +274,10 @@ int cmd_run(const Flags& flags) {
       flags.get("abcast", "opt") == "sequencer" ? AbcastKind::sequencer : AbcastKind::optimistic;
   // 1 = classic single-queue loop; >=2 = site-sharded engine on real cores.
   config.parallel.threads = static_cast<unsigned>(flags.get_int("threads", 1));
+  const SimTime duration = static_cast<SimTime>(flags.get_double("seconds", 2.0) * 1e9);
   if (!apply_topology_flag(flags, config)) return usage();
   if (!apply_storage_flags(flags, config)) return usage();
+  if (!apply_chaos_flag(flags, config, duration)) return usage();
 
   ReplicaFactory factory = make_factory(engine);
   auto cluster = factory ? std::make_unique<Cluster>(config, std::move(factory))
@@ -204,7 +291,7 @@ int cmd_run(const Flags& flags) {
   wl.class_skew_theta = flags.get_double("skew", 0.0);
   wl.cross_class_fraction = flags.get_double("cross-frac", 0.0);
   wl.cross_class_span = static_cast<std::size_t>(flags.get_int("cross-span", 2));
-  wl.duration = static_cast<SimTime>(flags.get_double("seconds", 2.0) * 1e9);
+  wl.duration = duration;
   WorkloadDriver driver(*cluster, wl, config.seed * 7 + 3);
   driver.start();
 
@@ -236,6 +323,7 @@ int cmd_run(const Flags& flags) {
               drained ? "" : "  (WARNING: did not drain)");
   const double seconds = static_cast<double>(cluster->sim().now()) / 1e9;
   print_cluster_summary(*cluster, seconds, engine == "lazy");
+  print_chaos_summary(*cluster);
 
   const auto check = engine == "locktable"
                          ? check_object_level_serializability(recorder.site_logs())
@@ -253,13 +341,15 @@ int cmd_tpcc(const Flags& flags) {
   config.objects_per_class = layout.objects_per_warehouse();
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   config.parallel.threads = static_cast<unsigned>(flags.get_int("threads", 1));
+  const SimTime duration = static_cast<SimTime>(flags.get_double("seconds", 2.0) * 1e9);
   if (!apply_topology_flag(flags, config)) return usage();
   if (!apply_storage_flags(flags, config)) return usage();
+  if (!apply_chaos_flag(flags, config, duration)) return usage();
   Cluster cluster(config);
 
   tpcc::MixConfig mix;
   mix.txn_per_second_per_site = flags.get_double("rate", 120.0);
-  mix.duration = static_cast<SimTime>(flags.get_double("seconds", 2.0) * 1e9);
+  mix.duration = duration;
   mix.warehouse_skew_theta = flags.get_double("skew", 0.0);
   mix.remote_txn_fraction = flags.get_double("remote-frac", 0.0);
   tpcc::TpccDriver driver(cluster, layout, mix, config.seed + 41);
@@ -278,6 +368,7 @@ int cmd_tpcc(const Flags& flags) {
               static_cast<unsigned long long>(stats.deliveries),
               static_cast<unsigned long long>(stats.stock_level_queries));
   print_cluster_summary(cluster, static_cast<double>(cluster.sim().now()) / 1e9, false);
+  print_chaos_summary(cluster);
   bool clean = true;
   for (SiteId s = 0; s < cluster.site_count(); ++s) clean &= driver.audit(s).empty();
   std::printf("  conservation audit : %s\n", clean ? "clean at every site" : "VIOLATED");

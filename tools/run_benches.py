@@ -33,7 +33,7 @@ import time
 from pathlib import Path
 
 DEFAULT_BENCHES = ["micro_components", "otp_vs_lazy", "tpcc_mix", "cross_class",
-                   "scalability", "geo_mismatch"]
+                   "scalability", "geo_mismatch", "chaos_robustness"]
 
 # Counters worth keeping in the trajectory (throughput/latency/consistency).
 KEEP_COUNTERS = (
@@ -65,6 +65,21 @@ KEEP_COUNTERS = (
     "wal_kib",
     "checkpoints",
     "segments_truncated",
+    # Chaos plane (PR 8): the injection ledger. These must stay nonzero on
+    # the chaos profiles - a silent zero means a fault clause stopped firing
+    # and the robustness rows are measuring nothing.
+    "dups_injected",
+    "dups_suppressed",
+    "reorders_injected",
+    "gray_delays",
+    "deliveries_parked",
+    "parked_released",
+    "flap_transitions",
+    "fd_suspicions",
+    "fd_restores",
+    "io_faults_injected",
+    "wal_io_errors",
+    "wal_io_retries",
 )
 
 # Benchmark names encode the parallel-driver sweep as a "threads:N" segment
@@ -202,8 +217,9 @@ def main() -> int:
     result = {
         # v2: threads axis + parallel_speedup table; v3: degraded_parallel
         # stamp + topology/channel-clock counters; v4: storage axis
-        # (memory vs durable WAL) with group-commit/fsync counters.
-        "schema": "otpdb-bench-v4",
+        # (memory vs durable WAL) with group-commit/fsync counters; v5:
+        # chaos axis (chaos_robustness bench) with injected-fault counters.
+        "schema": "otpdb-bench-v5",
         "host": {
             "platform": platform.platform(),
             "machine": platform.machine(),
