@@ -47,9 +47,20 @@ bool ConsensusHost::decided(std::uint64_t inst) const {
 }
 
 void ConsensusHost::crash_reset() {
+  // Cancel round timers in ascending instance order: TimerWheel recycles
+  // cancelled slots through a LIFO pool, so the cancel sequence dictates the
+  // slot (and intra-bucket position) of every timer armed after the restart.
+  // Hash-order cancellation would make the post-recovery wheel layout a
+  // function of unordered_map internals.
+  std::vector<std::uint64_t> armed;
+  armed.reserve(instances_.size());
+  // DETLINT(order-insensitive): keys are collected then sorted; only the
+  // sorted order reaches wheel_.cancel below.
   for (auto& [inst, in] : instances_) {
-    if (in.timer_armed) wheel_.cancel(in.round_timer);
+    if (in.timer_armed) armed.push_back(inst);
   }
+  std::sort(armed.begin(), armed.end());
+  for (std::uint64_t inst : armed) wheel_.cancel(instances_[inst].round_timer);
   instances_.clear();
 }
 

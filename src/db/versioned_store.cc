@@ -107,9 +107,20 @@ void VersionedStore::for_each_chain(
   for (ObjectId obj = 0; obj < dense_chains_.size(); ++obj) {
     if (!dense_chains_[obj].empty()) fn(obj, dense_chains_[obj]);
   }
+  // Canonical ascending-ObjectId traversal of the sparse tail. This feeds
+  // checkpoint serialization (DurableStore::do_checkpoint), so hash-order
+  // emission would make checkpoint bytes a function of unordered_map
+  // internals rather than of committed state. Called at checkpoint/digest
+  // cadence, so the sort is off the hot path.
+  std::vector<ObjectId> sparse_ids;
+  sparse_ids.reserve(sparse_chains_.size());
+  // DETLINT(order-insensitive): keys are collected then sorted; callbacks
+  // only fire in the sorted pass below.
   for (const auto& [obj, chain] : sparse_chains_) {
-    if (!chain.empty()) fn(obj, chain);
+    if (!chain.empty()) sparse_ids.push_back(obj);
   }
+  std::sort(sparse_ids.begin(), sparse_ids.end());
+  for (ObjectId obj : sparse_ids) fn(obj, sparse_chains_.at(obj));
 }
 
 void VersionedStore::reset_in_place() {
@@ -129,6 +140,8 @@ std::span<const VersionedStore::WriteEntry> VersionedStore::provisional_writes(T
 std::size_t VersionedStore::total_versions() const {
   std::size_t n = 0;
   for (const auto& chain : dense_chains_) n += chain.size();
+  // DETLINT(order-insensitive): commutative sum over all chains; no digest,
+  // send, or cross-site-compared stat sees the visitation order.
   for (const auto& [obj, chain] : sparse_chains_) n += chain.size();
   return n;
 }
@@ -147,6 +160,9 @@ std::size_t VersionedStore::prune(TOIndex horizon) {
     chain.erase(chain.begin(), erase_end);
   };
   for (auto& chain : dense_chains_) prune_chain(chain);
+  // DETLINT(order-insensitive): each chain is pruned independently against
+  // the same horizon and `dropped` is a commutative sum; the final store
+  // state and return value are identical for every visitation order.
   for (auto& [obj, chain] : sparse_chains_) prune_chain(chain);
   return dropped;
 }

@@ -51,6 +51,8 @@ SpontaneousOrderStats analyze_spontaneous_order(const std::vector<std::vector<Ms
     }
   }
 
+  // DETLINT(order-insensitive): commutative counters (messages/same_position)
+  // over the common-message set; every visitation order yields the same stats.
   for (const auto& [id, r] : ranks) {
     ++stats.messages;
     bool same = true;

@@ -1,5 +1,6 @@
 #include "util/flags.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 namespace otpdb {
@@ -47,7 +48,11 @@ bool Flags::get_bool(const std::string& key, bool fallback) const {
 std::vector<std::string> Flags::keys() const {
   std::vector<std::string> out;
   out.reserve(values_.size());
+  // DETLINT(order-insensitive): hash-order collection is sorted below before
+  // anything observes it; callers emit this list verbatim (--help, unknown
+  // -flag diagnostics), so the sort is what keeps that output byte-stable.
   for (const auto& [k, v] : values_) out.push_back(k);
+  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -3,8 +3,8 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace otpdb {
@@ -21,10 +21,14 @@ class Flags {
   bool get_bool(const std::string& key, bool fallback) const;
 
   const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Registered flag names in ascending lexicographic order. The sort is a
+  /// contract: callers emit this list (--help, unknown-flag diagnostics), and
+  /// emitted output must be byte-identical across repeat runs.
   std::vector<std::string> keys() const;
 
  private:
-  std::map<std::string, std::string> values_;
+  std::unordered_map<std::string, std::string> values_;
   std::vector<std::string> positional_;
 };
 

@@ -1,6 +1,10 @@
 // Unit tests for the command-line flag parser.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "util/flags.h"
 
 namespace otpdb {
@@ -56,7 +60,7 @@ TEST(Flags, KeysEnumerates) {
   const Flags f = parse({"--b=1", "--a=2"});
   const auto keys = f.keys();
   ASSERT_EQ(keys.size(), 2u);
-  EXPECT_EQ(keys[0], "a");  // map order
+  EXPECT_EQ(keys[0], "a");  // sorted: emission order is contractual
   EXPECT_EQ(keys[1], "b");
 }
 
@@ -64,6 +68,24 @@ TEST(Flags, NegativeNumberAsValue) {
   const Flags f = parse({"--crash-site", "-1"});
   // "-1" does not start with "--", so the space form consumes it.
   EXPECT_EQ(f.get_int("crash-site", 0), -1);
+}
+
+TEST(Flags, KeysSortedAndStableAtScale) {
+  // values_ is an unordered_map: enough keys that hash-order emission would
+  // almost surely differ from lexicographic. keys() must sort regardless of
+  // insertion order, and repeat parses of permuted argv must agree - this is
+  // what keeps --help and unknown-flag listings byte-identical across runs.
+  std::vector<std::string> owned;
+  for (int i = 31; i >= 0; --i) owned.push_back("--flag" + std::to_string(i) + "=v");
+  std::vector<const char*> fwd = {"prog"}, rev = {"prog"};
+  for (const auto& a : owned) fwd.push_back(a.c_str());
+  for (auto it = owned.rbegin(); it != owned.rend(); ++it) rev.push_back(it->c_str());
+  const Flags parsed_fwd(static_cast<int>(fwd.size()), fwd.data());
+  const Flags parsed_rev(static_cast<int>(rev.size()), rev.data());
+  const auto keys = parsed_fwd.keys();
+  ASSERT_EQ(keys.size(), owned.size());
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(keys, parsed_rev.keys());
 }
 
 }  // namespace

@@ -513,5 +513,67 @@ TEST(ParallelParity, ClassicLoopInvariantsAndOfferedLoadUnchanged) {
   EXPECT_EQ(classic_queries, sharded_queries);
 }
 
+// -- CLI output stability ----------------------------------------------------
+//
+// The CLI is the one surface where internal state becomes human-visible
+// bytes, so it gets its own determinism leg: --help and a full run summary
+// must be byte-identical across repeat invocations (pins the Flags sorted
+// keys() contract - values_ is an unordered_map - and catches any future
+// hash-order drift in summary formatting), and the run summary must also be
+// byte-identical across --threads values (the CLI-level face of the sharded
+// engine's bit-for-bit guarantee).
+
+#ifdef OTPDB_CLI_PATH
+std::string run_cli(const std::string& args, int* exit_code) {
+  const std::string cmd = std::string(OTPDB_CLI_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    *exit_code = -1;
+    return {};
+  }
+  std::string out;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = fread(buf, 1, sizeof buf, pipe)) > 0) out.append(buf, n);
+  *exit_code = pclose(pipe);
+  return out;
+}
+
+TEST(ParallelParity, CliHelpByteIdenticalAcrossRuns) {
+  int code_a = 0, code_b = 0;
+  const std::string a = run_cli("--help", &code_a);
+  const std::string b = run_cli("--help", &code_b);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(code_a, code_b);
+  EXPECT_EQ(a, b) << "usage/help output drifted between identical invocations";
+}
+
+TEST(ParallelParity, CliRunSummaryByteIdenticalAcrossRunsAndThreads) {
+  const std::string base =
+      "run --engine=otp --sites=3 --classes=4 --objects=64 --rate=100 "
+      "--seconds=1 --seed=7";
+  // Repeat-run stability holds for any thread count; cross-thread byte
+  // identity is only contractual within the sharded engine (--threads >= 2).
+  // The classic loop (--threads=1) is a legitimately different schedule.
+  int code_a = 0, code_b = 0, code_t = 0;
+  const std::string a = run_cli(base + " --threads=1", &code_a);
+  const std::string b = run_cli(base + " --threads=1", &code_b);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(code_a, 0) << a;
+  EXPECT_EQ(code_a, code_b);
+  EXPECT_EQ(a, b) << "run summary drifted between identical invocations";
+  const std::string t2 = run_cli(base + " --threads=2", &code_t);
+  EXPECT_EQ(code_t, 0) << t2;
+  const std::string t4 = run_cli(base + " --threads=4", &code_t);
+  EXPECT_EQ(code_t, 0) << t4;
+  EXPECT_EQ(t2, t4) << "run summary differs across sharded --threads values "
+                       "(parallel-engine parity broken at the CLI surface)";
+}
+#else
+TEST(ParallelParity, CliHelpByteIdenticalAcrossRuns) {
+  GTEST_SKIP() << "otpdb_cli not built alongside the test binary";
+}
+#endif
+
 }  // namespace
 }  // namespace otpdb

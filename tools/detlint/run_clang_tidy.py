@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Baseline-gated clang-tidy runner for the OTP-DB tree.
+
+clang-tidy's raw exit status is useless as a CI gate on a living tree: any
+check family update (new clang version, new checks) floods the build red for
+pre-existing code. This wrapper makes the gate *differential*:
+
+  * every diagnostic is normalized to ``<repo-relative-file>:<check-name>``
+    (line numbers are deliberately dropped - they churn with every edit and
+    would make the baseline a merge-conflict magnet),
+  * the multiset of normalized diagnostics is compared against the checked-in
+    baseline (``tools/detlint/clang_tidy_baseline.txt``),
+  * NEW diagnostics (not in the baseline, or more of the same kind in the
+    same file than the baseline records) fail the run,
+  * diagnostics that disappeared are reported so the baseline can be shrunk
+    (``--update`` rewrites it).
+
+Baseline states:
+  * first line ``# status: enforcing``  - new diagnostics exit 1.
+  * first line ``# status: provisional`` - diagnostics are printed and the
+    run exits 0. This is the bootstrap state: the development container
+    ships no clang-tidy binary, so the baseline cannot be pinned from where
+    the code is written. The first CI run (or any machine with clang-tidy)
+    prints the exact ``--update`` command; committing its output flips the
+    gate to enforcing automatically (``--update`` always writes
+    ``enforcing``).
+
+Usage:
+  run_clang_tidy.py --build-dir build [--update] [--jobs N]
+
+Requires: clang-tidy on PATH (or $CLANG_TIDY), and a configure with
+CMAKE_EXPORT_COMPILE_COMMANDS (the default for this repo).
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import json
+import multiprocessing
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)), "clang_tidy_baseline.txt")
+DIAG_RE = re.compile(r"^(/[^:]+):(\d+):(\d+): (?:warning|error): .* \[([A-Za-z0-9.,-]+)\]$")
+
+
+def load_baseline():
+    """Returns (enforcing, Counter of 'file:check')."""
+    if not os.path.exists(BASELINE):
+        return False, collections.Counter()
+    entries = collections.Counter()
+    enforcing = False
+    with open(BASELINE, encoding="utf-8") as fh:
+        for i, line in enumerate(fh):
+            line = line.strip()
+            if i == 0 and line.startswith("# status:"):
+                enforcing = "enforcing" in line
+                continue
+            if not line or line.startswith("#"):
+                continue
+            entries[line] += 1
+    return enforcing, entries
+
+
+def save_baseline(entries) -> None:
+    with open(BASELINE, "w", encoding="utf-8") as fh:
+        fh.write("# status: enforcing\n")
+        fh.write("# clang-tidy diagnostics accepted on the current tree, one\n")
+        fh.write("# '<file>:<check>' per occurrence. Regenerate: run_clang_tidy.py --update\n")
+        for entry in sorted(entries.elements()):
+            fh.write(entry + "\n")
+
+
+def repo_files(build_dir, root):
+    path = os.path.join(build_dir, "compile_commands.json")
+    try:
+        with open(path, encoding="utf-8") as fh:
+            db = json.load(fh)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"run_clang_tidy: cannot read {path}: {e} (configure with "
+              "CMAKE_EXPORT_COMPILE_COMMANDS=ON first)", file=sys.stderr)
+        sys.exit(2)
+    rootnorm = os.path.normpath(os.path.abspath(root))
+    files = []
+    for entry in db:
+        f = entry.get("file", "")
+        if not os.path.isabs(f):
+            f = os.path.join(entry.get("directory", ""), f)
+        f = os.path.normpath(f)
+        rel = os.path.relpath(f, rootnorm)
+        # Library + tools only: tests/benches inherit gtest/benchmark macro
+        # noise that would drown the signal the gate exists for.
+        if rel.startswith(("src" + os.sep, "tools" + os.sep)):
+            files.append(f)
+    return sorted(set(files)), rootnorm
+
+
+def tidy_one(args):
+    tidy, build_dir, path = args
+    proc = subprocess.run(
+        [tidy, "-p", build_dir, "--quiet", path],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
+    )
+    return proc.stdout
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--root", default=".")
+    ap.add_argument("--jobs", type=int, default=multiprocessing.cpu_count())
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from this run (status: enforcing)")
+    args = ap.parse_args()
+
+    tidy = os.environ.get("CLANG_TIDY") or shutil.which("clang-tidy")
+    if not tidy:
+        print("run_clang_tidy: clang-tidy not found on PATH; skipping "
+              "(the detlint determinism gate runs independently)", file=sys.stderr)
+        return 0
+
+    files, rootnorm = repo_files(args.build_dir, args.root)
+    if not files:
+        print("run_clang_tidy: no repo-owned TUs in compile_commands.json", file=sys.stderr)
+        return 2
+
+    seen = collections.Counter()
+    raw_lines = {}
+    with multiprocessing.Pool(args.jobs) as pool:
+        for out in pool.imap_unordered(tidy_one, [(tidy, args.build_dir, f) for f in files]):
+            for line in out.splitlines():
+                m = DIAG_RE.match(line)
+                if not m:
+                    continue
+                rel = os.path.relpath(m.group(1), rootnorm).replace(os.sep, "/")
+                if rel.startswith(".."):
+                    continue  # system/third-party header
+                for check in m.group(4).split(","):
+                    key = f"{rel}:{check}"
+                    seen[key] += 1
+                    raw_lines.setdefault(key, line)
+
+    if args.update:
+        save_baseline(seen)
+        print(f"run_clang_tidy: baseline updated with {sum(seen.values())} "
+              f"diagnostic(s) across {len(seen)} file:check pairs")
+        return 0
+
+    enforcing, baseline = load_baseline()
+    new = seen - baseline
+    gone = baseline - seen
+
+    for key in sorted(new.elements()):
+        print(f"NEW  {key}\n     e.g. {raw_lines.get(key, '?')}")
+    for key in sorted(gone):
+        print(f"GONE {key} (x{gone[key]}) - shrink the baseline with --update")
+
+    total = sum(seen.values())
+    print(f"run_clang_tidy: {total} diagnostic(s), {sum(new.values())} new, "
+          f"{sum(gone.values())} resolved vs baseline "
+          f"({'enforcing' if enforcing else 'provisional'})")
+    if not enforcing:
+        if new or not os.path.exists(BASELINE):
+            print("run_clang_tidy: baseline is provisional - pin it by running:\n"
+                  f"  python3 tools/detlint/run_clang_tidy.py --build-dir {args.build_dir} --update\n"
+                  "and committing tools/detlint/clang_tidy_baseline.txt")
+        return 0
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+// Allowlist fixture: this directory stands in for the real R2 allowlist
+// (src/db/io_shim, bench/, tools/) in the selftest configuration. Wall-clock
+// reads here are sanctioned - the I/O shim wraps real disks and bench mains
+// time themselves - so none of these lines may produce a finding.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+inline long shim_timings() {
+  long n = time(nullptr);
+  n += std::chrono::steady_clock::now().time_since_epoch().count();
+  struct timespec ts;
+  clock_gettime(0, &ts);
+  return n + ts.tv_sec;
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// A1 fixture: a DETLINT annotation without a rationale suppresses the
+// underlying finding but is itself reported - the proof obligation is the
+// point of the annotation grammar. (The nested // ends the empty reason.)
+#include <unordered_map>
+
+namespace fixture {
+
+inline int empty_reason(std::unordered_map<int, int>& m) {
+  int n = 0;
+  for (const auto& [k, v] : m) n += v;  // DETLINT(order-insensitive): // EXPECT-DETLINT: A1
+  return n;
+}
+
+}  // namespace fixture

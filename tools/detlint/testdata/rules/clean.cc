@@ -1,0 +1,50 @@
+// Negative fixture: deterministic idioms that must never be flagged.
+// Any finding in this file is a selftest failure (false positive).
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Engine {
+  std::unordered_map<std::uint64_t, int> table_;
+  std::map<std::uint64_t, int> ordered_;
+  std::vector<int> rows_;
+
+  // Point lookups and size queries on unordered containers are fine; only
+  // iteration order is contractual.
+  int lookup(std::uint64_t k) const {
+    auto it = table_.find(k);
+    return it == table_.end() ? 0 : it->second;
+  }
+  std::size_t size() const { return table_.size(); }
+
+  // The sanctioned sweep shape: collect, sort, then iterate the sorted copy.
+  std::vector<std::uint64_t> sorted_keys() const {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(table_.size());
+    // DETLINT(order-insensitive): keys are sorted below before anything
+    // observes them.
+    for (const auto& [k, v] : table_) keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+
+  int deterministic_loops() const {
+    int n = 0;
+    for (int r : rows_) n += r;                  // vector: ordered
+    for (const auto& [k, v] : ordered_) n += v;  // std::map: ordered
+    for (std::size_t i = 0; i < rows_.size(); ++i) n += rows_[i];
+    return n;
+  }
+
+  // A string named like a clock and a member named rand-ish: identifier
+  // boundaries must hold.
+  std::string runtime_label() const { return "runtime(clock)"; }
+  int randomize_nothing() const { return 4; }
+};
+
+}  // namespace fixture

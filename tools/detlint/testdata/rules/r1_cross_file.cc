@@ -1,0 +1,13 @@
+// R1 across translation units: the unordered member is declared in
+// r1_decls.h; the diagnostic must cite that declaration site.
+#include "r1_decls.h"
+
+namespace fixture {
+
+inline int cross_file_scan(CrossFileHost& h) {
+  int n = 0;
+  for (const auto& [inst, v] : h.instances_) n += v;  // EXPECT-DETLINT: R1
+  return n;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Cross-file declaration for r1_cross_file.cc: the member is declared here,
+// iterated there. detlint's index is tree-wide, mirroring the real layout
+// where members live in headers and iterations in .cc files.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+struct CrossFileHost {
+  std::unordered_map<std::uint64_t, int> instances_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,55 @@
+// R1 fixtures: range-iteration over unordered containers.
+// Each `EXPECT-DETLINT: R1` line must produce exactly one R1 finding;
+// annotated or ordered-container lines must produce none.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+using TicketSet = std::unordered_set<int>;  // alias resolves to unordered
+
+struct Replica {
+  std::unordered_map<int, std::string> msgs_;
+  std::vector<std::unordered_set<int>> per_site_seen_;  // seq-of-unordered
+  std::map<int, std::string> log_;                      // ordered: never flagged
+  TicketSet tickets_;                                   // via alias
+
+  std::unordered_map<int, int> snapshot();  // function returning unordered
+};
+
+inline int positive_cases(Replica& r) {
+  int n = 0;
+  for (const auto& [k, v] : r.msgs_) n += k;           // EXPECT-DETLINT: R1
+  for (int t : r.tickets_) n += t;                     // EXPECT-DETLINT: R1
+  for (int s : r.per_site_seen_[0]) n += s;            // EXPECT-DETLINT: R1
+  for (const auto& [k, v] : r.snapshot()) n += k;      // EXPECT-DETLINT: R1
+  for (auto it = r.msgs_.begin(); it != r.msgs_.end(); ++it) ++n;  // EXPECT-DETLINT: R1
+  return n;
+}
+
+inline int negative_cases(Replica& r) {
+  int n = 0;
+  // Ordered containers iterate deterministically: no finding.
+  for (const auto& [k, v] : r.log_) n += k;
+  // Outer vector of the seq-of-unordered is itself ordered: no finding.
+  for (const auto& site_set : r.per_site_seen_) n += static_cast<int>(site_set.size());
+  // Classic for-loops over indices are not range-iterations.
+  for (int i = 0; i < 4; ++i) n += i;
+  return n;
+}
+
+inline int annotated_cases(Replica& r) {
+  int n = 0;
+  // Same-line annotation.
+  for (const auto& [k, v] : r.msgs_) n += k;  // DETLINT(order-insensitive): commutative sum, order never escapes
+  // Annotation in the comment block directly above, wrapping over two lines.
+  // DETLINT(order-insensitive): keys are collected then sorted before any
+  // order-sensitive consumer sees them.
+  for (const auto& [k, v] : r.msgs_) n += k;
+  return n;
+}
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// R2 fixtures: wall-clock reads outside the allowlist.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+struct Msg {
+  long time() const { return 7; }  // member named `time` is not wall-clock
+};
+
+inline long positive_cases() {
+  long n = 0;
+  n += time(nullptr);                                    // EXPECT-DETLINT: R2
+  n += std::chrono::system_clock::now().time_since_epoch().count();  // EXPECT-DETLINT: R2
+  n += std::chrono::steady_clock::now().time_since_epoch().count();  // EXPECT-DETLINT: R2
+  struct timespec ts;
+  clock_gettime(0, &ts);                                 // EXPECT-DETLINT: R2
+  return n + ts.tv_sec;
+}
+
+inline long negative_cases(const Msg& m) {
+  long n = 0;
+  n += m.time();           // member call: deterministic, not the libc clock
+  long next_event_time(0);
+  n += next_event_time;    // identifier merely *containing* "time"
+  return n;
+}
+
+inline long annotated_case() {
+  // DETLINT(wall-clock): boot banner only; the value never reaches the
+  // simulation, digests, or any cross-site-compared output.
+  return time(nullptr);
+}
+
+inline long next_event_time(long x) { return x; }
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// R3 fixtures: unseeded randomness.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+struct SeededRng {
+  unsigned state = 1;
+  unsigned rand() { return state *= 1664525u; }  // member rand(): seeded, fine
+};
+
+inline unsigned positive_cases() {
+  unsigned n = 0;
+  n += static_cast<unsigned>(rand());   // EXPECT-DETLINT: R3
+  srand(42);                            // EXPECT-DETLINT: R3
+  std::random_device rd;                // EXPECT-DETLINT: R3
+  n += rd();
+  return n;
+}
+
+inline unsigned negative_cases(SeededRng& rng) {
+  // Member calls on the repo's own seeded streams are the sanctioned path.
+  return rng.rand();
+}
+
+inline unsigned annotated_case() {
+  // DETLINT(seeded): fixture demonstrating the escape hatch; real code cites
+  // where the seed comes from and why replay is unaffected.
+  return static_cast<unsigned>(rand());
+}
+
+}  // namespace fixture

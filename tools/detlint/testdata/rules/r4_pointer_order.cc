@@ -1,0 +1,45 @@
+// R4 fixtures: pointer-value ordering and address hashing.
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <set>
+#include <vector>
+
+namespace fixture {
+
+struct Txn {
+  std::uint64_t id = 0;
+};
+
+inline std::uintptr_t positive_cases(Txn* t) {
+  std::map<Txn*, int> by_addr;                       // EXPECT-DETLINT: R4
+  std::set<const Txn*> addr_set;                     // EXPECT-DETLINT: R4
+  std::priority_queue<Txn*> addr_heap;               // EXPECT-DETLINT: R4
+  std::hash<Txn*> addr_hash;                         // EXPECT-DETLINT: R4
+  std::less<Txn*> addr_less;                         // EXPECT-DETLINT: R4
+  auto key = reinterpret_cast<std::uintptr_t>(t);    // EXPECT-DETLINT: R4
+  (void)by_addr;
+  (void)addr_set;
+  (void)addr_heap;
+  (void)addr_hash;
+  (void)addr_less;
+  return key;
+}
+
+inline std::uint64_t negative_cases(const Txn& t) {
+  // Ordering by a stable id is the sanctioned pattern.
+  std::map<std::uint64_t, int> by_id;
+  std::set<std::uint64_t> id_set;
+  by_id[t.id] = 1;
+  id_set.insert(t.id);
+  return t.id + by_id.size() + id_set.size();
+}
+
+inline std::uintptr_t annotated_case(Txn* t) {
+  // DETLINT(address-stable): debug-log tag only; the value is printed and
+  // never compared, hashed, or used as an ordering key.
+  return reinterpret_cast<std::uintptr_t>(t);
+}
+
+}  // namespace fixture
