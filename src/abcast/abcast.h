@@ -94,6 +94,12 @@ class AtomicBroadcast {
   virtual SiteId site() const = 0;
 
   virtual const AbcastStats& stats() const = 0;
+
+  /// Sender-side backpressure: true while this site's in-flight undelivered
+  /// broadcasts are at their configured cap and new submissions should be
+  /// refused upstream (the ingress gate) instead of growing protocol state
+  /// unboundedly. Default: never (protocols without a cap).
+  virtual bool backpressured() const { return false; }
 };
 
 }  // namespace otpdb

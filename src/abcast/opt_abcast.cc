@@ -23,6 +23,7 @@ OptAbcast::OptAbcast(Simulator& sim, Network& net, FailureDetector& fd, SiteId s
 
 MsgId OptAbcast::broadcast(PayloadPtr payload) {
   ++stats_.broadcasts;
+  ++own_inflight_;  // decremented when this site TO-delivers the message
   return net_.multicast(self_, kChannelData, std::move(payload));
 }
 
@@ -170,6 +171,9 @@ void OptAbcast::drain_decided() {
     }
     decided_queue_.pop_front();
     const TOIndex index = next_index_++;
+    // The > 0 guard covers catch-up after a crash: pre-crash broadcasts were
+    // wiped from the counter by crash_reset but still TO-deliver here.
+    if (id.sender == self_ && own_inflight_ > 0) --own_inflight_;
     ++stats_.to_delivered;
     stats_.opt_to_gap_total_ns += sim_.now() - st->opt_time;
     drain_scratch_.emplace_back(id, index);
@@ -219,6 +223,7 @@ void OptAbcast::crash_reset() {
   next_apply_ = 0;
   next_propose_ = 0;
   next_index_ = 1;
+  own_inflight_ = 0;
   stage_timer_armed_ = false;  // any armed timer re-checks state when it fires
   decision_log_.clear();
   if (body_request_outstanding_) wheel_.cancel(body_retry_timer_);

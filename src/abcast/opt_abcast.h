@@ -60,6 +60,11 @@ struct OptAbcastConfig {
   std::size_t max_outstanding_stages = 1;
   /// Cap on messages proposed per stage.
   std::size_t max_batch = 128;
+  /// Sender-side backpressure: maximum own broadcasts in flight (sent but not
+  /// yet TO-delivered here). 0 = unbounded (the historical behavior). While
+  /// at the cap, backpressured() turns true and the ingress gate refuses new
+  /// submissions instead of letting pending_ grow without bound.
+  std::size_t max_inflight_per_sender = 0;
   ConsensusConfig consensus;
 };
 
@@ -72,6 +77,10 @@ class OptAbcast final : public AtomicBroadcast {
   void set_callbacks(AbcastCallbacks callbacks) override;
   SiteId site() const override { return self_; }
   const AbcastStats& stats() const override { return stats_; }
+  bool backpressured() const override {
+    return config_.max_inflight_per_sender != 0 &&
+           own_inflight_ >= config_.max_inflight_per_sender;
+  }
 
   /// Consensus-level counters (fast vs. coordinated stages).
   const ConsensusStats& consensus_stats() const { return consensus_.stats(); }
@@ -147,6 +156,8 @@ class OptAbcast final : public AtomicBroadcast {
   std::uint64_t next_propose_ = 0;  // next stage this site will propose for
   bool stage_timer_armed_ = false;
   TOIndex next_index_ = 1;
+  /// Own broadcasts sent but not yet TO-delivered here (backpressure signal).
+  std::size_t own_inflight_ = 0;
   /// TO-slots <= this are TO-delivered without a body during catch-up (the
   /// replica restored them from its own durable log). 0 outside recovery.
   TOIndex durable_floor_ = 0;

@@ -22,6 +22,7 @@ ConservativeReplica::ConservativeReplica(Simulator& sim, AtomicBroadcast& abcast
   for (std::size_t c = 0; c < catalog.class_count(); ++c) {
     queues_.emplace_back(static_cast<ClassId>(c));
   }
+  service_clock_.assign(catalog.class_count(), 0);
   abcast_.set_callbacks(AbcastCallbacks{
       [this](const Message& msg) { on_opt_deliver(msg); },
       [this](const MsgId& id, TOIndex index) { on_to_deliver(id, index); },
@@ -31,7 +32,7 @@ ConservativeReplica::ConservativeReplica(Simulator& sim, AtomicBroadcast& abcast
 
 void ConservativeReplica::broadcast_request(ProcId proc, ClassId klass,
                                             std::vector<ClassId> classes, TxnArgs args,
-                                            SimTime exec_duration) {
+                                            SimTime exec_duration, SimTime deadline) {
   auto request = std::make_shared<TxnRequest>();
   request->proc = proc;
   request->klass = klass;
@@ -41,26 +42,41 @@ void ConservativeReplica::broadcast_request(ProcId proc, ClassId klass,
   request->client_seq = next_client_seq_++;
   request->submitted_at = sim_.now();
   request->exec_duration = exec_duration;
+  request->deadline = deadline;
   ++metrics_.submitted_updates;
   abcast_.broadcast(std::move(request));
 }
 
-void ConservativeReplica::submit_update(ProcId proc, ClassId klass, TxnArgs args,
-                                        SimTime exec_duration) {
+SubmitResult ConservativeReplica::submit_update(ProcId proc, ClassId klass, TxnArgs args,
+                                                SimTime exec_duration, SimTime deadline) {
   OTPDB_CHECK(klass < catalog_.class_count());
-  broadcast_request(proc, klass, {}, std::move(args), exec_duration);
+  const AbcastStats& ab = abcast_.stats();
+  const std::uint64_t lag =
+      ab.opt_delivered > ab.to_delivered ? ab.opt_delivered - ab.to_delivered : 0;
+  const SubmitResult gate = ingress_gate(sim_.now(), deadline, in_flight(), lag,
+                                         abcast_.backpressured(), metrics_);
+  if (gate != SubmitResult::admitted) return gate;
+  broadcast_request(proc, klass, {}, std::move(args), exec_duration, deadline);
+  return SubmitResult::admitted;
 }
 
-void ConservativeReplica::submit_update_multi(ProcId proc, std::vector<ClassId> classes,
-                                              TxnArgs args, SimTime exec_duration) {
+SubmitResult ConservativeReplica::submit_update_multi(ProcId proc, std::vector<ClassId> classes,
+                                                      TxnArgs args, SimTime exec_duration,
+                                                      SimTime deadline) {
   normalize_class_set(classes);
   OTPDB_CHECK(classes.back() < catalog_.class_count());
   if (classes.size() == 1) {
-    submit_update(proc, classes.front(), std::move(args), exec_duration);
-    return;
+    return submit_update(proc, classes.front(), std::move(args), exec_duration, deadline);
   }
+  const AbcastStats& ab = abcast_.stats();
+  const std::uint64_t lag =
+      ab.opt_delivered > ab.to_delivered ? ab.opt_delivered - ab.to_delivered : 0;
+  const SubmitResult gate = ingress_gate(sim_.now(), deadline, in_flight(), lag,
+                                         abcast_.backpressured(), metrics_);
+  if (gate != SubmitResult::admitted) return gate;
   const ClassId primary = classes.front();
-  broadcast_request(proc, primary, std::move(classes), std::move(args), exec_duration);
+  broadcast_request(proc, primary, std::move(classes), std::move(args), exec_duration, deadline);
+  return SubmitResult::admitted;
 }
 
 void ConservativeReplica::submit_query(QueryFn fn, SimTime exec_duration, QueryDoneFn done) {
@@ -103,6 +119,11 @@ void ConservativeReplica::to_deliver_one(TxnRecord* txn) {
   queries_.advance_to_index(txn->to_index);
   for (ClassId c : classes) queries_.note_to_delivered(c, txn->to_index);
 
+  // Deadline budget: same virtual-clock rule (and hence the same drop
+  // decisions) as the OTP engine. Before the replay early return so a warm
+  // restart's replay rebuilds the clock exactly.
+  apply_service_clock(txn);
+
   // Crash-recovery replay: a TO-delivery at or below the covered classes'
   // commit watermarks was committed before the crash - acknowledge without
   // re-executing (its versions are already in the store). Nothing was
@@ -119,12 +140,36 @@ void ConservativeReplica::to_deliver_one(TxnRecord* txn) {
 
   metrics_.opt_to_gap_ns.add(static_cast<double>(txn->to_delivered_at - txn->opt_delivered_at));
   --buffered_;
+
+  if (txn->expired) {
+    // Dropped: never enters the queues (the conservative engine executes in
+    // definitive order, so nothing optimistic exists to undo). Watermarks
+    // still advance past the empty slot, with a wake for waiting queries.
+    const TOIndex index = txn->to_index;
+    ++metrics_.deadline_expired_queue;
+    for (ClassId c : classes) queries_.note_committed(c, index, /*wake=*/false);
+    queries_.wake_waiters(index);
+    txns_.retire(txn);
+    return;
+  }
   ++queued_;
 
   // Enter every covered queue in TO-delivery order (identical at all sites),
   // ascending by class; run once heading all of them.
   for (ClassId c : classes) queues_[c].append(txn);
   try_execute(txn);
+}
+
+void ConservativeReplica::apply_service_clock(TxnRecord* txn) {
+  const TxnRequest& request = *txn->request;
+  SimTime vstart = request.submitted_at;
+  for (ClassId c : request.class_span()) vstart = std::max(vstart, service_clock_[c]);
+  const SimTime vfinish = vstart + request.exec_duration;
+  if (request.deadline != 0 && vfinish > request.deadline) {
+    txn->expired = true;  // dropped: occupies no service time
+    return;
+  }
+  for (ClassId c : request.class_span()) service_clock_[c] = vfinish;
 }
 
 bool ConservativeReplica::heads_all_queues(const TxnRecord* txn) const {
@@ -225,6 +270,8 @@ void ConservativeReplica::crash_recover_reset() {
   queued_ = 0;
   backend_.clear_provisional();
   queries_.reset_volatile();
+  service_clock_.assign(service_clock_.size(), 0);  // rebuilt by the replay
+  admission_.reset();
 }
 
 void ConservativeReplica::restart_from_disk(std::span<const TOIndex> class_watermarks,

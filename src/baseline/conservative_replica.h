@@ -34,12 +34,13 @@ class ConservativeReplica final : public ReplicaBase {
                       const PartitionCatalog& catalog, const ProcedureRegistry& registry,
                       SiteId self);
 
-  void submit_update(ProcId proc, ClassId klass, TxnArgs args, SimTime exec_duration) override;
+  SubmitResult submit_update(ProcId proc, ClassId klass, TxnArgs args, SimTime exec_duration,
+                             SimTime deadline = 0) override;
   /// Cross-partition update: enters every covered class queue at TO-delivery
   /// (definitive order everywhere), executes only while heading all of them,
   /// commits across all of them atomically.
-  void submit_update_multi(ProcId proc, std::vector<ClassId> classes, TxnArgs args,
-                           SimTime exec_duration) override;
+  SubmitResult submit_update_multi(ProcId proc, std::vector<ClassId> classes, TxnArgs args,
+                                   SimTime exec_duration, SimTime deadline = 0) override;
   void submit_query(QueryFn fn, SimTime exec_duration, QueryDoneFn done) override;
   void set_commit_hook(CommitHook hook) override { commit_hook_ = std::move(hook); }
   std::size_t in_flight() const override {
@@ -64,7 +65,10 @@ class ConservativeReplica final : public ReplicaBase {
   /// Builds and TO-broadcasts a request. `classes` is empty for single-class
   /// submissions, the normalized set (and klass its first element) otherwise.
   void broadcast_request(ProcId proc, ClassId klass, std::vector<ClassId> classes,
-                         TxnArgs args, SimTime exec_duration);
+                         TxnArgs args, SimTime exec_duration, SimTime deadline);
+  /// Deadline budget at TO-delivery (same per-class virtual service clock and
+  /// hence the same drop decisions as OtpReplica::apply_service_clock).
+  void apply_service_clock(TxnRecord* txn);
 
   void on_opt_deliver(const Message& msg);
   void on_to_deliver(const MsgId& id, TOIndex index);
@@ -86,6 +90,8 @@ class ConservativeReplica final : public ReplicaBase {
 
   std::vector<ClassQueue> queues_;
   TxnTable txns_;
+  /// Per-class virtual service clock for deadline budgets (see OtpReplica).
+  std::vector<SimTime> service_clock_;
   std::size_t buffered_ = 0;  ///< Opt-delivered, not yet TO-delivered
   std::size_t queued_ = 0;    ///< TO-delivered, not yet committed
 

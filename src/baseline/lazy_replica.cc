@@ -38,8 +38,14 @@ LazyReplica::LazyReplica(Simulator& sim, Network& net, StorageBackend& storage,
   net_.subscribe(self_, kChannelLazy, [this](const Message& m) { on_apply(m); });
 }
 
-void LazyReplica::submit_update(ProcId proc, ClassId klass, TxnArgs args, SimTime exec_duration) {
+SubmitResult LazyReplica::submit_update(ProcId proc, ClassId klass, TxnArgs args,
+                                        SimTime exec_duration, SimTime deadline) {
   OTPDB_CHECK(klass < catalog_.class_count());
+  // No ordering layer: lag is always 0 and there is no backpressure source,
+  // so only queue depth and the presubmit deadline gate submissions here.
+  const SubmitResult gate = ingress_gate(sim_.now(), deadline, in_flight(), /*lag=*/0,
+                                         /*backpressured=*/false, metrics_);
+  if (gate != SubmitResult::admitted) return gate;
   LocalTxn txn;
   txn.id = MsgId{self_, next_txn_seq_++};
   txn.tid = interner_.intern(txn.id);
@@ -53,16 +59,18 @@ void LazyReplica::submit_update(ProcId proc, ClassId klass, TxnArgs args, SimTim
   queue.push_back(std::move(txn));
   ++queued_;
   if (queue.size() == 1) run_head(klass);
+  return SubmitResult::admitted;
 }
 
-void LazyReplica::submit_update_multi(ProcId proc, std::vector<ClassId> classes, TxnArgs args,
-                                      SimTime exec_duration) {
+SubmitResult LazyReplica::submit_update_multi(ProcId proc, std::vector<ClassId> classes,
+                                              TxnArgs args, SimTime exec_duration,
+                                              SimTime deadline) {
   normalize_class_set(classes);
   OTPDB_CHECK_MSG(classes.size() == 1,
                   "the lazy engine cannot atomically commit a cross-partition transaction "
                   "(last-writer-wins reconciliation has no cross-class serialization); "
                   "use the OTP or conservative engine for multi-class workloads");
-  submit_update(proc, classes.front(), std::move(args), exec_duration);
+  return submit_update(proc, classes.front(), std::move(args), exec_duration, deadline);
 }
 
 void LazyReplica::run_head(ClassId klass) {

@@ -35,13 +35,17 @@ class LazyReplica final : public ReplicaBase {
   LazyReplica(Simulator& sim, Network& net, StorageBackend& storage,
               const PartitionCatalog& catalog, const ProcedureRegistry& registry, SiteId self);
 
-  void submit_update(ProcId proc, ClassId klass, TxnArgs args, SimTime exec_duration) override;
+  /// Admission + presubmit-deadline gating only: the lazy engine has no
+  /// global order, so a post-admission deadline cannot be enforced
+  /// deterministically across sites and is ignored once admitted.
+  SubmitResult submit_update(ProcId proc, ClassId klass, TxnArgs args, SimTime exec_duration,
+                             SimTime deadline = 0) override;
   /// The lazy engine reconciles per object with no cross-site serialization
   /// at all, so a cross-partition atomic commit is outside its model: routes
   /// single-element class sets to submit_update and rejects genuine
   /// multi-class submissions loudly.
-  void submit_update_multi(ProcId proc, std::vector<ClassId> classes, TxnArgs args,
-                           SimTime exec_duration) override;
+  SubmitResult submit_update_multi(ProcId proc, std::vector<ClassId> classes, TxnArgs args,
+                                   SimTime exec_duration, SimTime deadline = 0) override;
   void submit_query(QueryFn fn, SimTime exec_duration, QueryDoneFn done) override;
   void set_commit_hook(CommitHook hook) override { commit_hook_ = std::move(hook); }
   std::size_t in_flight() const override {

@@ -1,0 +1,26 @@
+#include "core/admission.h"
+
+namespace otpdb {
+
+bool AdmissionController::admit(std::size_t depth, std::uint64_t lag) {
+  if (!config_.enabled) return true;
+  if (!shedding_) {
+    // Either signal alone is enough to engage: a deep local queue means the
+    // site cannot execute what it already holds, a wide opt/TO gap means the
+    // ordering layer is the bottleneck and more traffic only widens it.
+    if (depth >= config_.shed_depth || lag >= config_.shed_lag) {
+      shedding_ = true;
+      ++stats_.shed_engagements;
+    }
+  } else {
+    // Resume only once BOTH signals are back under their (lower) resume
+    // marks; releasing on the shed thresholds themselves would flap.
+    if (depth <= config_.resume_depth && lag <= config_.resume_lag) {
+      shedding_ = false;
+      ++stats_.shed_releases;
+    }
+  }
+  return !shedding_;
+}
+
+}  // namespace otpdb

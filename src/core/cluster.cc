@@ -88,6 +88,7 @@ void Cluster::build(ReplicaFactory factory) {
     replicas_.push_back(factory(
         ReplicaDeps{site_sim(s), *net_, *abcasts_[s], *backends_[s], catalog_, registry_, s}));
     OTPDB_CHECK(replicas_.back() != nullptr);
+    replicas_.back()->configure_admission(config_.admission);
   }
   if (config_.enable_failure_detector) {
     for (auto& fd : fds_) fd->start();
@@ -109,7 +110,7 @@ void Cluster::recover_site(SiteId site) {
   abcast->begin_recovery();
 }
 
-void Cluster::restart_site_from_disk(SiteId site) {
+void Cluster::restart_site_from_disk(SiteId site, bool full_body_replay) {
   OTPDB_CHECK(site < config_.n_sites);
   auto* abcast = dynamic_cast<OptAbcast*>(abcasts_[site].get());
   OTPDB_CHECK_MSG(abcast != nullptr, "recovery requires the optimistic broadcast");
@@ -117,7 +118,11 @@ void Cluster::restart_site_from_disk(SiteId site) {
   replicas_[site]->restart_from_disk(recovered.class_watermarks, recovered.durable_floor);
   abcast->crash_reset();
   net_->recover(site);
-  abcast->begin_recovery(recovered.durable_floor);
+  // With full body replay peers resend every slot with its request attached
+  // (floor 0 = nothing is tombstoned); the restored watermarks above still
+  // keep already-durable work from re-executing, but the replica sees every
+  // body and can rebuild its per-class virtual service clock.
+  abcast->begin_recovery(full_body_replay ? 0 : recovered.durable_floor);
 }
 
 void Cluster::load_everywhere(ObjectId obj, Value value) {

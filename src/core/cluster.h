@@ -46,6 +46,11 @@ struct ClusterConfig {
 
   OtpReplicaConfig otp;
 
+  /// Overload plane: per-site admission control (core/admission.h), installed
+  /// on every replica by build(). Disabled by default - zero behavior change
+  /// for configurations that never touch it.
+  AdmissionConfig admission;
+
   /// Per-cluster storage tier: in-memory (default, the pre-durability
   /// behavior) or the group-commit WAL backend (db/durable_store.h).
   StorageConfig storage;
@@ -158,7 +163,15 @@ class Cluster {
   /// in place from its own checkpoint + WAL, and peer catch-up resends only
   /// the tail beyond the durable watermark (everything at or below it is
   /// TO-delivered as a body-less tombstone). Requires the durable backend.
-  void restart_site_from_disk(SiteId site);
+  ///
+  /// `full_body_replay` makes catch-up fetch bodies for ALL slots instead of
+  /// tombstoning those at or below the durable floor (the replica's restored
+  /// watermarks still suppress re-execution). Deadline-budget runs need it:
+  /// the per-class virtual service clock is rebuilt from request bodies, and
+  /// tombstones carry none - without bodies a cold-restarted site cannot
+  /// re-derive pre-crash drop decisions for the tail. Costlier (the whole
+  /// history is resent) and off by default.
+  void restart_site_from_disk(SiteId site, bool full_body_replay = false);
 
   /// Runs until every replica reports zero in-flight work or `deadline_span`
   /// elapses. Returns true if the cluster quiesced.

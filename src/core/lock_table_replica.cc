@@ -45,26 +45,35 @@ LockTableReplica::LockTableReplica(Simulator& sim, AtomicBroadcast& abcast,
   });
 }
 
-void LockTableReplica::submit_update(ProcId proc, ClassId klass, TxnArgs args,
-                                     SimTime exec_duration) {
+SubmitResult LockTableReplica::submit_update(ProcId proc, ClassId klass, TxnArgs args,
+                                             SimTime exec_duration, SimTime deadline) {
   std::vector<ObjectId> access_set = extractor_(klass, args);
-  submit_update_with_access(proc, klass, std::move(access_set), std::move(args), exec_duration);
+  return submit_update_with_access(proc, klass, std::move(access_set), std::move(args),
+                                   exec_duration, deadline);
 }
 
-void LockTableReplica::submit_update_multi(ProcId proc, std::vector<ClassId> classes,
-                                           TxnArgs args, SimTime exec_duration) {
+SubmitResult LockTableReplica::submit_update_multi(ProcId proc, std::vector<ClassId> classes,
+                                                   TxnArgs args, SimTime exec_duration,
+                                                   SimTime deadline) {
   normalize_class_set(classes);
   OTPDB_CHECK_MSG(classes.size() == 1,
                   "the lock-table engine's access-set extractor is keyed to one class's "
                   "argument convention; submit cross-partition transactions with an "
                   "explicit union access set via submit_update_with_access");
-  submit_update(proc, classes.front(), std::move(args), exec_duration);
+  return submit_update(proc, classes.front(), std::move(args), exec_duration, deadline);
 }
 
-void LockTableReplica::submit_update_with_access(ProcId proc, ClassId klass,
-                                                 std::vector<ObjectId> access_set, TxnArgs args,
-                                                 SimTime exec_duration) {
+SubmitResult LockTableReplica::submit_update_with_access(ProcId proc, ClassId klass,
+                                                         std::vector<ObjectId> access_set,
+                                                         TxnArgs args, SimTime exec_duration,
+                                                         SimTime deadline) {
   OTPDB_CHECK_MSG(!access_set.empty(), "a transaction must declare at least one object");
+  const AbcastStats& ab = abcast_.stats();
+  const std::uint64_t lag =
+      ab.opt_delivered > ab.to_delivered ? ab.opt_delivered - ab.to_delivered : 0;
+  const SubmitResult gate = ingress_gate(sim_.now(), deadline, in_flight(), lag,
+                                         abcast_.backpressured(), metrics_);
+  if (gate != SubmitResult::admitted) return gate;
   auto request = std::make_shared<TxnRequest>();
   request->proc = proc;
   request->klass = klass;
@@ -73,9 +82,14 @@ void LockTableReplica::submit_update_with_access(ProcId proc, ClassId klass,
   request->client_seq = next_client_seq_++;
   request->submitted_at = sim_.now();
   request->exec_duration = exec_duration;
+  // `deadline` is deliberately NOT carried into the request: enforcing it at
+  // the object queues would need per-object virtual service clocks to stay
+  // deterministic across sites. The ingress gate above is the full extent of
+  // deadline handling on this engine.
   request->access_set = std::move(access_set);
   ++metrics_.submitted_updates;
   abcast_.broadcast(std::move(request));
+  return SubmitResult::admitted;
 }
 
 void LockTableReplica::submit_query(QueryFn fn, SimTime exec_duration, QueryDoneFn done) {

@@ -62,14 +62,18 @@ class LockTableReplica final : public ReplicaBase {
                    SiteId self, AccessSetExtractor extractor);
 
   // ReplicaBase:
-  void submit_update(ProcId proc, ClassId klass, TxnArgs args, SimTime exec_duration) override;
+  /// Admission/backpressure + presubmit-deadline gating only: queue-head
+  /// deadline drops would need per-object virtual service clocks, so a
+  /// post-admission deadline is ignored once admitted.
+  SubmitResult submit_update(ProcId proc, ClassId klass, TxnArgs args, SimTime exec_duration,
+                             SimTime deadline = 0) override;
   /// The lock-table engine already serializes at object granularity; its
   /// access-set extractor is keyed to a single class's argument convention,
   /// so it routes single-element class sets to submit_update and rejects
   /// genuine multi-class submissions explicitly (declare the union access set
   /// via submit_update_with_access instead).
-  void submit_update_multi(ProcId proc, std::vector<ClassId> classes, TxnArgs args,
-                           SimTime exec_duration) override;
+  SubmitResult submit_update_multi(ProcId proc, std::vector<ClassId> classes, TxnArgs args,
+                                   SimTime exec_duration, SimTime deadline = 0) override;
   void submit_query(QueryFn fn, SimTime exec_duration, QueryDoneFn done) override;
   void set_commit_hook(CommitHook hook) override { commit_hook_ = std::move(hook); }
   std::size_t in_flight() const override {
@@ -79,8 +83,9 @@ class LockTableReplica final : public ReplicaBase {
   SiteId site() const override { return self_; }
 
   /// Submits with an explicit access set (bypasses the extractor).
-  void submit_update_with_access(ProcId proc, ClassId klass, std::vector<ObjectId> access_set,
-                                 TxnArgs args, SimTime exec_duration);
+  SubmitResult submit_update_with_access(ProcId proc, ClassId klass,
+                                         std::vector<ObjectId> access_set, TxnArgs args,
+                                         SimTime exec_duration, SimTime deadline = 0);
 
   /// Introspection for tests.
   std::size_t queue_length(ObjectId obj) const;

@@ -16,6 +16,17 @@ struct ReplicaMetrics {
   std::uint64_t mismatch_reorders = 0;  ///< CC10 moved a transaction (conflicting mismatch)
   std::uint64_t ticket_timeouts = 0;    ///< liveness watchdog firings (OtpReplicaConfig)
 
+  // Overload plane (ingress gate + deadline budgets). The gate counters are
+  // origin-site-local; the queue-drop counter is replicated (every site makes
+  // the same drop decision from the definitive order, so it is equal at all
+  // sites for the same run).
+  std::uint64_t admitted_updates = 0;          ///< submissions past the ingress gate
+  std::uint64_t shed_updates = 0;              ///< refused by admission control
+  std::uint64_t backpressured_updates = 0;     ///< refused by abcast sender cap
+  std::uint64_t deadline_expired_presubmit = 0;  ///< dead on arrival at submit
+  std::uint64_t deadline_skips_opt = 0;   ///< optimistic execution skipped (expired at opt-deliver)
+  std::uint64_t deadline_expired_queue = 0;  ///< dropped at queue head by the virtual service clock
+
   /// Client-visible commit latency at the origin site (submit -> local commit).
   OnlineStats commit_latency_ns;
   /// Same samples, kept exactly for tail percentiles (p95/p99 in the benches).

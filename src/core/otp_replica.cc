@@ -24,6 +24,7 @@ OtpReplica::OtpReplica(Simulator& sim, AtomicBroadcast& abcast, StorageBackend& 
   for (std::size_t c = 0; c < catalog.class_count(); ++c) {
     queues_.emplace_back(static_cast<ClassId>(c));
   }
+  service_clock_.assign(catalog.class_count(), 0);
   abcast_.set_callbacks(AbcastCallbacks{
       [this](const Message& msg) { on_opt_deliver(msg); },
       [this](const MsgId& id, TOIndex index) { on_to_deliver(id, index); },
@@ -32,7 +33,7 @@ OtpReplica::OtpReplica(Simulator& sim, AtomicBroadcast& abcast, StorageBackend& 
 }
 
 void OtpReplica::broadcast_request(ProcId proc, ClassId klass, std::vector<ClassId> classes,
-                                   TxnArgs args, SimTime exec_duration) {
+                                   TxnArgs args, SimTime exec_duration, SimTime deadline) {
   auto request = std::make_shared<TxnRequest>();
   request->proc = proc;
   request->klass = klass;
@@ -42,25 +43,41 @@ void OtpReplica::broadcast_request(ProcId proc, ClassId klass, std::vector<Class
   request->client_seq = next_client_seq_++;
   request->submitted_at = sim_.now();
   request->exec_duration = exec_duration;
+  request->deadline = deadline;
   ++metrics_.submitted_updates;
   abcast_.broadcast(std::move(request));
 }
 
-void OtpReplica::submit_update(ProcId proc, ClassId klass, TxnArgs args, SimTime exec_duration) {
+SubmitResult OtpReplica::submit_update(ProcId proc, ClassId klass, TxnArgs args,
+                                       SimTime exec_duration, SimTime deadline) {
   OTPDB_CHECK(klass < catalog_.class_count());
-  broadcast_request(proc, klass, {}, std::move(args), exec_duration);
+  const AbcastStats& ab = abcast_.stats();
+  const std::uint64_t lag =
+      ab.opt_delivered > ab.to_delivered ? ab.opt_delivered - ab.to_delivered : 0;
+  const SubmitResult gate = ingress_gate(sim_.now(), deadline, in_flight(), lag,
+                                         abcast_.backpressured(), metrics_);
+  if (gate != SubmitResult::admitted) return gate;
+  broadcast_request(proc, klass, {}, std::move(args), exec_duration, deadline);
+  return SubmitResult::admitted;
 }
 
-void OtpReplica::submit_update_multi(ProcId proc, std::vector<ClassId> classes, TxnArgs args,
-                                     SimTime exec_duration) {
+SubmitResult OtpReplica::submit_update_multi(ProcId proc, std::vector<ClassId> classes,
+                                             TxnArgs args, SimTime exec_duration,
+                                             SimTime deadline) {
   normalize_class_set(classes);
   OTPDB_CHECK(classes.back() < catalog_.class_count());
   if (classes.size() == 1) {  // the base model's case: no class vector needed
-    submit_update(proc, classes.front(), std::move(args), exec_duration);
-    return;
+    return submit_update(proc, classes.front(), std::move(args), exec_duration, deadline);
   }
+  const AbcastStats& ab = abcast_.stats();
+  const std::uint64_t lag =
+      ab.opt_delivered > ab.to_delivered ? ab.opt_delivered - ab.to_delivered : 0;
+  const SubmitResult gate = ingress_gate(sim_.now(), deadline, in_flight(), lag,
+                                         abcast_.backpressured(), metrics_);
+  if (gate != SubmitResult::admitted) return gate;
   const ClassId primary = classes.front();
-  broadcast_request(proc, primary, std::move(classes), std::move(args), exec_duration);
+  broadcast_request(proc, primary, std::move(classes), std::move(args), exec_duration, deadline);
+  return SubmitResult::admitted;
 }
 
 void OtpReplica::submit_query(QueryFn fn, SimTime exec_duration, QueryDoneFn done) {
@@ -87,7 +104,16 @@ void OtpReplica::serialization_module(TxnRecord* txn) {
   // S1: append to every covered queue, in ascending class order (identical at
   // all sites, so the head-of-all gating below is deadlock-free).
   for (ClassId c : txn->request->class_span()) queues_[c].append(txn);
-  try_execute(txn);  // S3-S5: submit iff heading all covered queues
+  if (txn->request->deadline != 0 && sim_.now() > txn->request->deadline) {
+    // Already past its budget when it arrived: skip the optimistic execution
+    // (pure waste - its effects would be undone). Site-local economy only;
+    // the transaction stays queued and the authoritative drop-vs-commit
+    // decision is the virtual-clock rule at TO-delivery, so a skip here never
+    // diverges the replicas.
+    ++metrics_.deadline_skips_opt;
+  } else {
+    try_execute(txn);  // S3-S5: submit iff heading all covered queues
+  }
   if (config_.paranoid_checks) check_invariants(txn);
 }
 
@@ -138,6 +164,11 @@ void OtpReplica::to_deliver_one(TxnRecord* txn) {
   queries_.advance_to_index(index);
   for (ClassId c : classes) queries_.note_to_delivered(c, index);
 
+  // Deadline budget. Runs BEFORE the recovery-replay early return so a warm
+  // restart's replay rebuilds the virtual service clock exactly and re-makes
+  // every drop decision identically.
+  apply_service_clock(txn);
+
   // Crash-recovery replay: a TO-delivery at or below the covered classes'
   // durable commit watermarks was already committed before the crash -
   // acknowledge it without re-executing (its versions are in the store). The
@@ -168,16 +199,107 @@ void OtpReplica::to_deliver_one(TxnRecord* txn) {
       OTPDB_CHECK(queue.head() == txn);
     }
     for (ClassId c : classes) queues_[c].remove_head(txn);
-    for (ClassId c : classes) {
-      if (TxnRecord* next = queues_[c].head()) try_execute(next);
-    }
     cancel_ticket_watchdog(txn);
+    promote_heads(classes);  // before retire: `classes` views the request
     txns_.retire(txn);
     return;
   }
 
   metrics_.opt_to_gap_ns.add(static_cast<double>(txn->to_delivered_at - txn->opt_delivered_at));
+
+  if (txn->expired) {
+    // Dropped at the definitive order: undo any optimistic effects and
+    // surface the transaction to the head of every covered queue (the same
+    // CC7-CC10 handling a committing transaction would get - the queue
+    // invariant keeps committable transactions ahead of pending ones), then
+    // retire it once it heads them all. No store effects, no commit hook.
+    txn->deliv = DeliveryState::committable;
+    if (txn->running) {
+      sim_.cancel(txn->completion);
+      txn->running = false;
+    }
+    backend_.abort(txn->tid);  // undo provisional effects, if any
+    txn->exec = ExecState::active;
+    for (ClassId c : classes) {
+      ClassQueue& queue = queues_[c];
+      TxnRecord* head = queue.head();
+      if (head != txn && head->deliv == DeliveryState::pending &&
+          (head->running || head->exec == ExecState::executed)) {
+        abort_transaction(head);  // CC8 applies equally ahead of a drop
+      }
+      queue.reorder_before_first_pending(txn);
+    }
+    if (heads_all_queues(txn)) {
+      retire_expired(txn);
+    }
+    // Else: a committable predecessor is still executing; the retire happens
+    // when its commit promotes this transaction to head (promote_heads).
+    if (config_.paranoid_checks) check_invariants(txn);
+    return;
+  }
+
   correctness_check_module(txn);
+}
+
+void OtpReplica::apply_service_clock(TxnRecord* txn) {
+  const TxnRequest& request = *txn->request;
+  // Every non-dropped transaction occupies exec_duration of virtual serial
+  // service per covered class, starting no earlier than its submission and
+  // the covered classes' backlogs. Under overload the clock runs ahead of
+  // real submit times - that growing gap is exactly the queueing delay the
+  // deadline is budgeting against.
+  SimTime vstart = request.submitted_at;
+  for (ClassId c : request.class_span()) vstart = std::max(vstart, service_clock_[c]);
+  const SimTime vfinish = vstart + request.exec_duration;
+  if (request.deadline != 0 && vfinish > request.deadline) {
+    txn->expired = true;  // dropped: occupies no service time
+    return;
+  }
+  for (ClassId c : request.class_span()) service_clock_[c] = vfinish;
+}
+
+void OtpReplica::retire_expired(TxnRecord* txn) {
+  OTPDB_CHECK(txn->expired);
+  OTPDB_CHECK(txn->deliv == DeliveryState::committable);
+  OTPDB_CHECK(heads_all_queues(txn));
+  OTPDB_CHECK(!txn->running && txn->exec == ExecState::active);
+  const auto classes = txn->request->class_span();
+  const TOIndex index = txn->to_index;
+  for (ClassId c : classes) queues_[c].remove_head(txn);
+  ++metrics_.deadline_expired_queue;
+  OTPDB_TRACE("otp") << "site " << self_ << " drops expired txn (" << txn->id.sender << ","
+                     << txn->id.seq << ") at index " << index;
+  // The slot commits nothing, but the watermarks must advance past it (with a
+  // wake): a query waiting on this index would otherwise block forever, and
+  // the recovery replay relies on the watermark covering dropped slots. Reads
+  // at this index fall back to the predecessor version - a drop is a no-op.
+  for (ClassId c : classes) queries_.note_committed(c, index, /*wake=*/false);
+  queries_.wake_waiters(index);
+  cancel_ticket_watchdog(txn);
+  promote_heads(classes);  // before retire: `classes` views the request
+  txns_.retire(txn);
+}
+
+void OtpReplica::promote_heads(std::span<const ClassId> classes) {
+  promote_stack_.insert(promote_stack_.end(), classes.begin(), classes.end());
+  if (promoting_) return;  // the active drain below picks the new entries up
+  promoting_ = true;
+  while (!promote_stack_.empty()) {
+    const ClassId c = promote_stack_.back();
+    promote_stack_.pop_back();
+    TxnRecord* next = queues_[c].head();
+    if (next == nullptr) continue;
+    if (next->expired) {
+      // A chained drop: the newly exposed head is itself expired-committable.
+      // Its retire pushes its covered classes back onto the worklist.
+      if (next->deliv == DeliveryState::committable && heads_all_queues(next)) {
+        retire_expired(next);
+      }
+      continue;
+    }
+    try_execute(next);
+  }
+  promoting_ = false;
 }
 
 void OtpReplica::crash_recover_reset() {
@@ -191,6 +313,13 @@ void OtpReplica::crash_recover_reset() {
   }
   backend_.clear_provisional();
   queries_.reset_volatile();
+  // The virtual service clock rebuilds from zero during the recovery replay
+  // (apply_service_clock runs before the replay early-return), so every
+  // pre-crash drop decision is re-derived identically.
+  service_clock_.assign(service_clock_.size(), 0);
+  promote_stack_.clear();
+  promoting_ = false;
+  admission_.reset();
 }
 
 void OtpReplica::restart_from_disk(std::span<const TOIndex> class_watermarks,
@@ -242,6 +371,7 @@ bool OtpReplica::heads_all_queues(const TxnRecord* txn) const {
 }
 
 void OtpReplica::try_execute(TxnRecord* txn) {
+  if (txn->expired) return;  // dropped at TO-delivery: retired, never executed
   if (txn->running || txn->exec != ExecState::active) return;
   if (!heads_all_queues(txn)) return;
   submit_execution(txn);
@@ -332,20 +462,18 @@ void OtpReplica::commit(TxnRecord* txn) {
 
   const TOIndex committed_index = txn->to_index;
 
-  // E3/CC4: removing txn may promote the next head of every covered queue to
-  // heads-all status; start whichever can now run. (A successor sharing
-  // several classes with txn is promoted by the first covered queue and
-  // already running when the later ones reach it - try_execute's guards make
-  // the loop idempotent.)
-  for (ClassId c : classes) {
-    if (TxnRecord* next = queues_[c].head()) try_execute(next);
-  }
   // Advance every covered class watermark before waking waiters, so a query
   // spanning several covered classes never observes a half-committed state.
   for (ClassId c : classes) queries_.note_committed(c, committed_index, /*wake=*/false);
   queries_.wake_waiters(committed_index);
   if (config_.paranoid_checks) check_invariants(txn);
   cancel_ticket_watchdog(txn);
+  // E3/CC4: removing txn may promote the next head of every covered queue to
+  // heads-all status; start whichever can now run, and retire expired
+  // committable heads exposed by the removal (promote_heads' guards make the
+  // per-class passes idempotent for successors sharing several classes).
+  // Before retire: `classes` views the request the retire drops.
+  promote_heads(classes);
   txns_.retire(txn);  // txn's slot is reusable beyond this point
 }
 

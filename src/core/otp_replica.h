@@ -80,14 +80,15 @@ class OtpReplica final : public ReplicaBase {
              OtpReplicaConfig config = {});
 
   // ReplicaBase:
-  void submit_update(ProcId proc, ClassId klass, TxnArgs args, SimTime exec_duration) override;
+  SubmitResult submit_update(ProcId proc, ClassId klass, TxnArgs args, SimTime exec_duration,
+                             SimTime deadline = 0) override;
   /// Cross-partition update: enqueued into every covered class queue on
   /// Opt-deliver, executed only while heading all of them, committed/aborted
   /// across all of them atomically. Queues are always entered in ascending
   /// class order at every site (same tentative order everywhere), so the
   /// gating is deadlock-free.
-  void submit_update_multi(ProcId proc, std::vector<ClassId> classes, TxnArgs args,
-                           SimTime exec_duration) override;
+  SubmitResult submit_update_multi(ProcId proc, std::vector<ClassId> classes, TxnArgs args,
+                                   SimTime exec_duration, SimTime deadline = 0) override;
   void submit_query(QueryFn fn, SimTime exec_duration, QueryDoneFn done) override;
   const ReplicaMetrics& metrics() const override { return metrics_; }
   SiteId site() const override { return self_; }
@@ -144,9 +145,23 @@ class OtpReplica final : public ReplicaBase {
   /// Builds and TO-broadcasts a request. `classes` is empty for single-class
   /// submissions, the normalized set (and klass its first element) otherwise.
   void broadcast_request(ProcId proc, ClassId klass, std::vector<ClassId> classes,
-                         TxnArgs args, SimTime exec_duration);
+                         TxnArgs args, SimTime exec_duration, SimTime deadline);
 
   void to_deliver_one(TxnRecord* txn);
+  /// Deadline budget at TO-delivery: advances the per-class virtual service
+  /// clock and marks `txn` expired when its virtual finish time overruns the
+  /// deadline. A pure function of the definitive order + request fields, so
+  /// every site makes the same decision for every transaction.
+  void apply_service_clock(TxnRecord* txn);
+  /// Retires an expired transaction heading all its covered queues: no
+  /// effects, no commit hook, but the commit watermarks advance (waiting
+  /// queries must not block on a slot that will never produce versions).
+  void retire_expired(TxnRecord* txn);
+  /// Worklist-driven head promotion after a commit or expired-retire: runs
+  /// newly exposed heads, retiring expired committable ones. A worklist (not
+  /// recursion) because N consecutive expired heads retire each other in a
+  /// chain under overload.
+  void promote_heads(std::span<const ClassId> classes);
   /// True when `txn` heads every class queue it covers (trivially its single
   /// queue in the base model). Only such a transaction may run or commit.
   bool heads_all_queues(const TxnRecord* txn) const;
@@ -178,6 +193,14 @@ class OtpReplica final : public ReplicaBase {
 
   std::vector<ClassQueue> queues_;
   TxnTable txns_;
+  /// Per-class virtual service clock (deadline budgets): the virtual time at
+  /// which the class's serial service of all non-dropped TO-delivered
+  /// transactions finishes. Fed only by agreed data (definitive order,
+  /// submitted_at, exec_duration), hence identical at every site, and rebuilt
+  /// by the recovery replay (updated before the replay early-return).
+  std::vector<SimTime> service_clock_;
+  std::vector<ClassId> promote_stack_;  // promote_heads worklist
+  bool promoting_ = false;              // reentrancy guard for promote_heads
   TimerWheel wheel_{sim_};                       // ticket-timeout watchdogs
   std::vector<TimerWheel::TimerId> ticket_timers_;  // dense, indexed by TxnId
 

@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "core/admission.h"
 #include "core/metrics.h"
 #include "core/query.h"
 #include "core/txn.h"
@@ -18,23 +19,47 @@
 
 namespace otpdb {
 
+/// Outcome of a submit_update call. Anything but `admitted` means the engine
+/// took NO ownership of the request: nothing was broadcast, no metrics beyond
+/// the refusal counter moved, and the client may retry (shed/backpressure) or
+/// must give up (expired).
+enum class SubmitResult : std::uint8_t {
+  admitted,      ///< accepted; the engine will disseminate and commit it
+  shed,          ///< refused by admission control (overload); retry later
+  backpressure,  ///< refused by the abcast sender-side in-flight cap; retry later
+  expired,       ///< the request's deadline already passed at submit time
+};
+
+inline const char* to_string(SubmitResult r) {
+  switch (r) {
+    case SubmitResult::admitted: return "admitted";
+    case SubmitResult::shed: return "shed";
+    case SubmitResult::backpressure: return "backpressure";
+    case SubmitResult::expired: return "expired";
+  }
+  return "?";
+}
+
 class ReplicaBase {
  public:
   virtual ~ReplicaBase() = default;
 
   /// Accepts a client update request at this site. The engine disseminates and
   /// eventually commits it at every site. `exec_duration` models the stored
-  /// procedure's execution cost.
-  virtual void submit_update(ProcId proc, ClassId klass, TxnArgs args,
-                             SimTime exec_duration) = 0;
+  /// procedure's execution cost. `deadline` is an absolute sim-time budget
+  /// (0 = none): a refused or expired submission returns without side effects
+  /// beyond the matching metrics counter.
+  virtual SubmitResult submit_update(ProcId proc, ClassId klass, TxnArgs args,
+                                     SimTime exec_duration, SimTime deadline = 0) = 0;
 
   /// Accepts a client update request spanning several conflict classes (a
   /// cross-partition transaction). `classes` need not be sorted or unique;
   /// the engine normalizes it. Engines whose model cannot serialize
   /// cross-class updates (lazy, lock-table) route single-element sets to
   /// submit_update and reject genuine multi-class sets explicitly.
-  virtual void submit_update_multi(ProcId proc, std::vector<ClassId> classes, TxnArgs args,
-                                   SimTime exec_duration) = 0;
+  virtual SubmitResult submit_update_multi(ProcId proc, std::vector<ClassId> classes,
+                                           TxnArgs args, SimTime exec_duration,
+                                           SimTime deadline = 0) = 0;
 
   /// Accepts a client read-only query at this site; executed locally
   /// (read-one/write-all). `done` fires with the completed query.
@@ -52,6 +77,11 @@ class ReplicaBase {
 
   virtual const ReplicaMetrics& metrics() const = 0;
   virtual SiteId site() const = 0;
+
+  /// Installs the overload-plane admission policy (Cluster::build wires the
+  /// cluster-wide AdmissionConfig here; default-constructed = disabled).
+  void configure_admission(const AdmissionConfig& config) { admission_.configure(config); }
+  const AdmissionController& admission() const { return admission_; }
 
   /// Warm crash recovery: RAM intact at the engine level is NOT assumed -
   /// all volatile replica state (queues, in-flight transactions, provisional
@@ -73,6 +103,34 @@ class ReplicaBase {
     (void)durable_floor;
     OTPDB_CHECK_MSG(false, "this engine has no durable restart path");
   }
+
+ protected:
+  /// The shared ingress gate every engine's submit path runs first, in fixed
+  /// order: dead-on-arrival deadline, then abcast backpressure, then
+  /// admission. Each refusal bumps exactly one counter; an admitted request
+  /// bumps admitted_updates. The order matters for determinism of the
+  /// counters: a request that is both expired and shed must count the same
+  /// way everywhere.
+  SubmitResult ingress_gate(SimTime now, SimTime deadline, std::size_t depth,
+                            std::uint64_t lag, bool backpressured,
+                            ReplicaMetrics& metrics) {
+    if (deadline != 0 && now > deadline) {
+      ++metrics.deadline_expired_presubmit;
+      return SubmitResult::expired;
+    }
+    if (backpressured) {
+      ++metrics.backpressured_updates;
+      return SubmitResult::backpressure;
+    }
+    if (!admission_.admit(depth, lag)) {
+      ++metrics.shed_updates;
+      return SubmitResult::shed;
+    }
+    ++metrics.admitted_updates;
+    return SubmitResult::admitted;
+  }
+
+  AdmissionController admission_;
 };
 
 }  // namespace otpdb

@@ -57,6 +57,12 @@ struct TxnRequest final : Payload {
   std::uint64_t client_seq = 0;  ///< origin-local request number
   SimTime submitted_at = 0;    ///< origin submit time (one simulated clock)
   SimTime exec_duration = 0;   ///< modelled execution cost of the procedure
+  /// Absolute sim-time deadline; 0 means none. Past it the transaction is a
+  /// drop candidate at every stage (pre-broadcast, opt-deliver, queue head).
+  /// The queue-head decision is made against the per-class virtual service
+  /// clock (see OtpReplica), a pure function of the definitive order, so all
+  /// sites agree on every drop.
+  SimTime deadline = 0;
   /// Pre-declared object access set; used by the fine-granularity lock-table
   /// engine (paper Section 6 / [13]). Empty under the class-queue model.
   std::vector<ObjectId> access_set;
@@ -83,6 +89,7 @@ struct TxnRecord {
   TOIndex to_index = 0;  ///< definitive index; 0 until TO-delivered
 
   bool running = false;       ///< execution submitted and not yet finished/aborted
+  bool expired = false;       ///< deadline-dropped: retire instead of execute/commit
   EventId completion{};       ///< cancellable execution-completion event
   std::uint32_t attempts = 0; ///< times (re)submitted for execution
 
@@ -134,6 +141,7 @@ struct TxnRecord {
     deliv = DeliveryState::pending;
     to_index = 0;
     running = false;
+    expired = false;
     completion = EventId{};
     attempts = 0;
     opt_delivered_at = 0;

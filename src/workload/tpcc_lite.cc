@@ -1,5 +1,7 @@
 #include "workload/tpcc_lite.h"
 
+#include <algorithm>
+#include <memory>
 #include <sstream>
 #include <utility>
 
@@ -181,6 +183,15 @@ void TpccDriver::submit_one(SiteId site) {
     return r >= warehouse ? static_cast<ClassId>(r + 1) : r;
   };
 
+  // Every update goes through attempt_submit (deadline tagging + retry); the
+  // arguments are drawn exactly once, here, so retried attempts resubmit the
+  // same transaction.
+  PendingTxn pending;
+  pending.exec_duration = exec;
+  if (config_.deadline_budget != 0) {
+    pending.deadline = cluster_.site_sim(site).now() + config_.deadline_budget;
+  }
+
   if (dice < no_w) {
     TxnArgs args;
     const ClassId supply = remote ? pick_remote_warehouse() : warehouse;
@@ -195,13 +206,17 @@ void TpccDriver::submit_one(SiteId site) {
       args.ints.push_back(rng.uniform_int(1, 5));  // quantity
     }
     ++stats.new_orders;
+    pending.args = std::move(args);
     if (remote) {
       ++stats.remote_new_orders;
-      cluster_.replica(site).submit_update_multi(procs_.new_order_remote,
-                                                 {warehouse, supply}, std::move(args), exec);
+      pending.cross = true;
+      pending.proc = procs_.new_order_remote;
+      pending.classes = {warehouse, supply};
     } else {
-      cluster_.replica(site).submit_update(procs_.new_order, warehouse, std::move(args), exec);
+      pending.proc = procs_.new_order;
+      pending.klass = warehouse;
     }
+    attempt_submit(site, std::move(pending));
   } else if (dice < pay_w) {
     TxnArgs args;
     const std::int64_t amount = rng.uniform_int(1, 100);
@@ -214,18 +229,24 @@ void TpccDriver::submit_one(SiteId site) {
       args.ints = {static_cast<std::int64_t>(warehouse),
                    static_cast<std::int64_t>(customer_w), customer, amount};
       ++stats.remote_payments;
-      cluster_.replica(site).submit_update_multi(procs_.payment_remote,
-                                                 {warehouse, customer_w}, std::move(args),
-                                                 exec);
+      pending.cross = true;
+      pending.proc = procs_.payment_remote;
+      pending.classes = {warehouse, customer_w};
     } else {
       args.ints = {customer, amount};
-      cluster_.replica(site).submit_update(procs_.payment, warehouse, std::move(args), exec);
+      pending.proc = procs_.payment;
+      pending.klass = warehouse;
     }
+    pending.args = std::move(args);
+    attempt_submit(site, std::move(pending));
   } else if (dice < del_w) {
     TxnArgs args;
     args.ints = {rng.uniform_int(0, static_cast<std::int64_t>(layout_.n_districts) - 1)};
     ++stats.deliveries;
-    cluster_.replica(site).submit_update(procs_.delivery, warehouse, std::move(args), exec);
+    pending.proc = procs_.delivery;
+    pending.klass = warehouse;
+    pending.args = std::move(args);
+    attempt_submit(site, std::move(pending));
   } else {
     // StockLevel: snapshot query counting low-stock items of one warehouse.
     const Layout layout = layout_;
@@ -245,6 +266,47 @@ void TpccDriver::submit_one(SiteId site) {
         },
         query_exec, nullptr);
   }
+}
+
+void TpccDriver::attempt_submit(SiteId site, PendingTxn pending) {
+  // Arguments are copied into each attempt so a refusal keeps the original.
+  ReplicaBase& replica = cluster_.replica(site);
+  const SubmitResult result =
+      pending.cross ? replica.submit_update_multi(pending.proc, pending.classes, pending.args,
+                                                  pending.exec_duration, pending.deadline)
+                    : replica.submit_update(pending.proc, pending.klass, pending.args,
+                                            pending.exec_duration, pending.deadline);
+  MixStats& stats = site_stats_[site];
+  switch (result) {
+    case SubmitResult::admitted:
+      return;
+    case SubmitResult::expired:
+      ++stats.expired_presubmit;
+      return;
+    case SubmitResult::shed:
+    case SubmitResult::backpressure:
+      break;  // retryable refusals
+  }
+  if (pending.attempts >= config_.max_retries) {
+    ++stats.gave_up;
+    return;
+  }
+  // Deterministic exponential backoff; the jitter draw happens ONLY on a
+  // refusal, keeping non-shedding runs' rng streams identical to before.
+  const std::size_t shift = std::min<std::size_t>(pending.attempts, 20);
+  SimTime delay = std::min(config_.backoff_cap, config_.backoff_base << shift);
+  if (config_.backoff_jitter > 0) {
+    delay += static_cast<SimTime>(site_rngs_[site].uniform_int(
+        0, static_cast<std::int64_t>(config_.backoff_jitter)));
+  }
+  ++pending.attempts;
+  ++stats.retries;
+  // Boxed: the event capture must stay within InlineAction::kCapacity, and a
+  // PendingTxn (two vectors + scalars) does not.
+  cluster_.site_sim(site).schedule_after(
+      delay, [this, site, boxed = std::make_unique<PendingTxn>(std::move(pending))]() {
+        attempt_submit(site, std::move(*boxed));
+      });
 }
 
 std::vector<std::string> TpccDriver::audit(SiteId site) {

@@ -87,6 +87,20 @@ struct MixConfig {
   /// The home warehouse keeps its Zipf affinity; the remote one is uniform
   /// among the others.
   double remote_txn_fraction = 0.0;
+
+  // --- Overload plane (all off by default: identical rng streams and
+  // submissions to the pre-overload driver) ---
+
+  /// Deadline budget per update (0 = none): absolute deadline = first-attempt
+  /// time + budget; retries keep the original deadline.
+  SimTime deadline_budget = 0;
+  /// Client retries after a shed/backpressure refusal (0 = fire-and-forget).
+  std::size_t max_retries = 0;
+  /// delay = min(backoff_cap, backoff_base << attempt) + uniform jitter in
+  /// [0, backoff_jitter], drawn from the site rng ONLY on a refusal.
+  SimTime backoff_base = 2 * kMillisecond;
+  SimTime backoff_cap = 64 * kMillisecond;
+  SimTime backoff_jitter = 1 * kMillisecond;
 };
 
 /// Per-transaction-type counters reported by the driver.
@@ -98,6 +112,9 @@ struct MixStats {
   std::uint64_t remote_new_orders = 0;  ///< cross-warehouse NewOrders (subset of new_orders)
   std::uint64_t remote_payments = 0;    ///< cross-warehouse Payments (subset of payments)
   std::int64_t payment_volume = 0;  ///< total amount across submitted payments
+  std::uint64_t retries = 0;            ///< re-submissions after shed/backpressure
+  std::uint64_t gave_up = 0;            ///< updates abandoned after max_retries
+  std::uint64_t expired_presubmit = 0;  ///< deadline passed before admission
 
   /// Merge (for per-site -> cluster aggregation). Extend together with the
   /// fields above, or merged stats silently drop the new counter.
@@ -109,6 +126,9 @@ struct MixStats {
     remote_new_orders += o.remote_new_orders;
     remote_payments += o.remote_payments;
     payment_volume += o.payment_volume;
+    retries += o.retries;
+    gave_up += o.gave_up;
+    expired_presubmit += o.expired_presubmit;
     return *this;
   }
 };
@@ -133,8 +153,24 @@ class TpccDriver {
   std::vector<std::string> audit(SiteId site);
 
  private:
+  /// A generated update held across retry attempts: the arguments were drawn
+  /// once; every attempt resubmits the same transaction with its original
+  /// deadline (audit invariants hold because a refused attempt writes
+  /// nothing - the audit only counts *admitted* work).
+  struct PendingTxn {
+    bool cross = false;
+    ProcId proc = 0;
+    ClassId klass = 0;
+    std::vector<ClassId> classes;  // cross-warehouse only
+    TxnArgs args;
+    SimTime exec_duration = 0;
+    SimTime deadline = 0;  // absolute; 0 = none
+    std::size_t attempts = 0;
+  };
+
   void schedule_next(SiteId site, SimTime horizon);
   void submit_one(SiteId site);
+  void attempt_submit(SiteId site, PendingTxn pending);
 
   Cluster& cluster_;
   Layout layout_;

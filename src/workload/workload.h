@@ -49,6 +49,23 @@ struct WorkloadConfig {
 
   /// Length of the submission window (simulated time).
   SimTime duration = 2 * kSecond;
+
+  // --- Overload plane (all off by default: identical rng streams and
+  // submissions to the pre-overload driver) ---
+
+  /// Deadline budget per update (0 = none). Each update carries an absolute
+  /// deadline of first-submission time + this budget; retries keep the
+  /// original deadline, so backing off consumes the budget.
+  SimTime deadline_budget = 0;
+  /// Client retries after a shed/backpressure refusal (0 = fire-and-forget).
+  std::size_t max_retries = 0;
+  /// Deterministic exponential backoff between attempts:
+  /// delay = min(backoff_cap, backoff_base << attempt) + uniform jitter in
+  /// [0, backoff_jitter], drawn from the site rng ONLY on a refusal (so
+  /// non-shedding runs draw the exact same streams as before).
+  SimTime backoff_base = 2 * kMillisecond;
+  SimTime backoff_cap = 64 * kMillisecond;
+  SimTime backoff_jitter = 1 * kMillisecond;
 };
 
 /// Registers the standard read-modify-write stored procedure used by the
@@ -80,13 +97,34 @@ class WorkloadDriver {
   std::uint64_t updates_submitted() const { return sum(updates_submitted_); }
   std::uint64_t cross_class_submitted() const { return sum(cross_class_submitted_); }
   std::uint64_t queries_submitted() const { return sum(queries_submitted_); }
+  /// Re-submissions after a shed/backpressure refusal.
+  std::uint64_t retries() const { return sum(retries_); }
+  /// Updates abandoned after exhausting max_retries.
+  std::uint64_t gave_up() const { return sum(gave_up_); }
+  /// Updates whose deadline passed before an attempt was admitted.
+  std::uint64_t expired_presubmit() const { return sum(expired_presubmit_); }
   ProcId rmw_proc() const { return rmw_proc_; }
   ProcId rmw_cross_proc() const { return rmw_cross_proc_; }
 
  private:
+  /// A generated update held by the client across retry attempts. Arguments
+  /// are drawn once; every attempt submits the same transaction with the same
+  /// (original) deadline.
+  struct PendingUpdate {
+    bool cross = false;
+    ProcId proc = 0;
+    ClassId klass = 0;
+    std::vector<ClassId> classes;  // cross-class only
+    TxnArgs args;
+    SimTime exec_duration = 0;
+    SimTime deadline = 0;  // absolute; 0 = none
+    std::size_t attempts = 0;
+  };
+
   void schedule_next(SiteId site, SimTime horizon);
   void submit_one(SiteId site);
   void submit_cross_class(SiteId site, Rng& rng);
+  void attempt_submit(SiteId site, PendingUpdate pending);
   SimTime next_gap(Rng& rng) const;
   static std::uint64_t sum(const std::vector<std::uint64_t>& per_site) {
     std::uint64_t n = 0;
@@ -102,6 +140,9 @@ class WorkloadDriver {
   std::vector<std::uint64_t> updates_submitted_;      // per site
   std::vector<std::uint64_t> cross_class_submitted_;  // per site
   std::vector<std::uint64_t> queries_submitted_;      // per site
+  std::vector<std::uint64_t> retries_;                // per site
+  std::vector<std::uint64_t> gave_up_;                // per site
+  std::vector<std::uint64_t> expired_presubmit_;      // per site
   bool started_ = false;
 };
 

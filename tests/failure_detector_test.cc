@@ -6,9 +6,11 @@
 #include <functional>
 
 #include "abcast/failure_detector.h"
+#include "core/cluster.h"
 #include "net/network.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
+#include "workload/workload.h"
 
 namespace otpdb {
 namespace {
@@ -176,6 +178,41 @@ TEST(FailureDetector, CrashDetectionLatencyUnchangedByHysteresis) {
   const SimTime without = detect_at(1.0);
   EXPECT_GT(with_backoff, 0);
   EXPECT_EQ(with_backoff, without);
+}
+
+TEST(FailureDetector, SustainedOverloadCausesNoFalseSuspicions) {
+  // Overload is a data-plane condition: heavy transaction traffic and deep
+  // replica backlogs must not starve heartbeats into false suspicions. The
+  // cluster runs well past its service capacity (admission shedding engaged,
+  // deadline drops happening) with every site alive throughout.
+  ClusterConfig config;
+  config.n_sites = 4;
+  config.n_classes = 4;
+  config.seed = 7;
+  config.admission.enabled = true;
+  config.admission.shed_depth = 48;
+  config.admission.resume_depth = 16;
+  Cluster cluster(config);
+
+  WorkloadConfig wl;
+  // ~3x the capacity of 4 classes at 4ms mean service time.
+  wl.updates_per_second_per_site = 750;
+  wl.mean_exec_time = 4 * kMillisecond;
+  wl.duration = 1500 * kMillisecond;
+  wl.deadline_budget = 150 * kMillisecond;
+  wl.max_retries = 4;
+  WorkloadDriver driver(cluster, wl, 4242);
+  driver.start();
+  cluster.run_for(wl.duration);
+  EXPECT_TRUE(cluster.quiesce(120 * kSecond));
+
+  std::uint64_t shed = 0;
+  for (SiteId s = 0; s < cluster.site_count(); ++s) {
+    shed += cluster.replica(s).metrics().shed_updates;
+  }
+  EXPECT_GT(shed, 0u) << "the run never actually overloaded";
+  EXPECT_EQ(cluster.fd_stats().suspicions, 0u)
+      << "overload starved heartbeats into false suspicions";
 }
 
 TEST(FailureDetector, PartitionLooksLikeCrash) {

@@ -13,6 +13,7 @@
 //   otpdb_cli spontorder --interval-ms=2
 //
 // Every run is deterministic for a given --seed.
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -46,11 +47,26 @@ int usage() {
                "              --topology=PROFILE (network shape; see below)\n"
                "              --storage=memory|durable --data-dir=PATH\n"
                "              --chaos=PROFILE (fault schedule; see below)\n"
+               "              --offered-load=TXN/S/SITE (alias for --rate; overrides it)\n"
+               "              --admission=on|off --deadline-ms=MS (overload plane; see below)\n"
                "  tpcc:       --warehouses=N --sites=N --rate=TXN/S/SITE --seconds=S\n"
                "              --skew=THETA --remote-frac=F --seed=N --threads=N\n"
                "              --topology=PROFILE --storage=memory|durable --data-dir=PATH\n"
-               "              --chaos=PROFILE\n"
+               "              --chaos=PROFILE --offered-load=TXN/S/SITE\n"
+               "              --admission=on|off --deadline-ms=MS\n"
                "  spontorder: --interval-ms=MS --messages=N --sites=N --seed=N\n"
+               "\n"
+               "overload plane (--admission / --deadline-ms / --offered-load):\n"
+               "  --admission=on    sheds new work at the origin site while its queue\n"
+               "                    depth or opt->TO delivery lag is past the high-water\n"
+               "                    mark (hysteresis keeps shedding until both recede)\n"
+               "  --deadline-ms=MS  per-transaction budget: refused before broadcast\n"
+               "                    once the budget is spent, and dropped at the queue\n"
+               "                    head by the deterministic virtual-service-clock rule\n"
+               "                    (every site drops the same transactions)\n"
+               "  Either flag also arms the client retry loop: refused submissions\n"
+               "  back off exponentially (seeded jitter) and resubmit. Runs end with\n"
+               "  an 'overload plane' summary line and the usual checks.\n"
                "\n"
                "chaos profiles (--chaos):\n"
                "  %s\n"
@@ -139,6 +155,49 @@ bool apply_chaos_flag(const Flags& flags, ClusterConfig& config, SimTime duratio
     config.storage.faults.fsync_error_prob = 0.02;
   }
   return true;
+}
+
+/// Parses --admission into `config.admission` (default thresholds; on|off).
+bool apply_admission_flag(const Flags& flags, ClusterConfig& config) {
+  const std::string admission = flags.get("admission", "off");
+  if (admission == "on") {
+    config.admission.enabled = true;
+  } else if (admission != "off") {
+    std::fprintf(stderr, "unknown --admission=%s (on|off)\n", admission.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// One line of overload-plane accounting: what the ingress gates did, what
+/// the clients did about it, and how many admitted transactions still missed
+/// their deadline. Silent when the plane never engaged (default runs keep
+/// their exact pre-overload output).
+void print_overload_summary(Cluster& cluster, std::uint64_t retried, std::uint64_t gave_up) {
+  std::uint64_t admitted = 0, shed = 0, backpressured = 0, presubmit = 0, queue_drops = 0;
+  for (SiteId s = 0; s < cluster.site_count(); ++s) {
+    const ReplicaMetrics& m = cluster.replica(s).metrics();
+    admitted += m.admitted_updates;
+    shed += m.shed_updates;
+    backpressured += m.backpressured_updates;
+    presubmit += m.deadline_expired_presubmit;
+    // Queue-head drops are decided in definitive order, so every live site
+    // counts the same set - take the max rather than a misleading sum.
+    queue_drops = std::max(queue_drops, m.deadline_expired_queue);
+  }
+  if (!cluster.config().admission.enabled &&
+      shed + backpressured + presubmit + queue_drops + retried + gave_up == 0) {
+    return;
+  }
+  std::printf("  overload plane     : %llu admitted, %llu shed, %llu backpressured, "
+              "%llu retried (%llu gave up), expired %llu presubmit / %llu in queue\n",
+              static_cast<unsigned long long>(admitted),
+              static_cast<unsigned long long>(shed),
+              static_cast<unsigned long long>(backpressured),
+              static_cast<unsigned long long>(retried),
+              static_cast<unsigned long long>(gave_up),
+              static_cast<unsigned long long>(presubmit),
+              static_cast<unsigned long long>(queue_drops));
 }
 
 /// One line of injected-fault accounting + how the stack absorbed it.
@@ -278,6 +337,7 @@ int cmd_run(const Flags& flags) {
   if (!apply_topology_flag(flags, config)) return usage();
   if (!apply_storage_flags(flags, config)) return usage();
   if (!apply_chaos_flag(flags, config, duration)) return usage();
+  if (!apply_admission_flag(flags, config)) return usage();
 
   ReplicaFactory factory = make_factory(engine);
   auto cluster = factory ? std::make_unique<Cluster>(config, std::move(factory))
@@ -285,13 +345,18 @@ int cmd_run(const Flags& flags) {
   HistoryRecorder recorder(*cluster);
 
   WorkloadConfig wl;
-  wl.updates_per_second_per_site = flags.get_double("rate", 100.0);
+  wl.updates_per_second_per_site =
+      flags.get_double("offered-load", flags.get_double("rate", 100.0));
   wl.mean_exec_time = static_cast<SimTime>(flags.get_double("exec-ms", 3.0) * 1e6);
   wl.query_fraction = flags.get_double("query-frac", 0.0);
   wl.class_skew_theta = flags.get_double("skew", 0.0);
   wl.cross_class_fraction = flags.get_double("cross-frac", 0.0);
   wl.cross_class_span = static_cast<std::size_t>(flags.get_int("cross-span", 2));
   wl.duration = duration;
+  wl.deadline_budget = static_cast<SimTime>(flags.get_double("deadline-ms", 0.0) * 1e6);
+  // Either overload knob arms the client retry loop (refusals back off and
+  // resubmit instead of being dropped on the floor).
+  if (config.admission.enabled || wl.deadline_budget != 0) wl.max_retries = 8;
   WorkloadDriver driver(*cluster, wl, config.seed * 7 + 3);
   driver.start();
 
@@ -323,6 +388,7 @@ int cmd_run(const Flags& flags) {
               drained ? "" : "  (WARNING: did not drain)");
   const double seconds = static_cast<double>(cluster->sim().now()) / 1e9;
   print_cluster_summary(*cluster, seconds, engine == "lazy");
+  print_overload_summary(*cluster, driver.retries(), driver.gave_up());
   print_chaos_summary(*cluster);
 
   const auto check = engine == "locktable"
@@ -345,13 +411,17 @@ int cmd_tpcc(const Flags& flags) {
   if (!apply_topology_flag(flags, config)) return usage();
   if (!apply_storage_flags(flags, config)) return usage();
   if (!apply_chaos_flag(flags, config, duration)) return usage();
+  if (!apply_admission_flag(flags, config)) return usage();
   Cluster cluster(config);
 
   tpcc::MixConfig mix;
-  mix.txn_per_second_per_site = flags.get_double("rate", 120.0);
+  mix.txn_per_second_per_site =
+      flags.get_double("offered-load", flags.get_double("rate", 120.0));
   mix.duration = duration;
   mix.warehouse_skew_theta = flags.get_double("skew", 0.0);
   mix.remote_txn_fraction = flags.get_double("remote-frac", 0.0);
+  mix.deadline_budget = static_cast<SimTime>(flags.get_double("deadline-ms", 0.0) * 1e6);
+  if (config.admission.enabled || mix.deadline_budget != 0) mix.max_retries = 8;
   tpcc::TpccDriver driver(cluster, layout, mix, config.seed + 41);
   driver.start();
   cluster.run_for(mix.duration);
@@ -368,6 +438,7 @@ int cmd_tpcc(const Flags& flags) {
               static_cast<unsigned long long>(stats.deliveries),
               static_cast<unsigned long long>(stats.stock_level_queries));
   print_cluster_summary(cluster, static_cast<double>(cluster.sim().now()) / 1e9, false);
+  print_overload_summary(cluster, stats.retries, stats.gave_up);
   print_chaos_summary(cluster);
   bool clean = true;
   for (SiteId s = 0; s < cluster.site_count(); ++s) clean &= driver.audit(s).empty();

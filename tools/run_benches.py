@@ -33,7 +33,7 @@ import time
 from pathlib import Path
 
 DEFAULT_BENCHES = ["micro_components", "otp_vs_lazy", "tpcc_mix", "cross_class",
-                   "scalability", "geo_mismatch", "chaos_robustness"]
+                   "scalability", "geo_mismatch", "chaos_robustness", "overload"]
 
 # Counters worth keeping in the trajectory (throughput/latency/consistency).
 KEEP_COUNTERS = (
@@ -80,6 +80,22 @@ KEEP_COUNTERS = (
     "io_faults_injected",
     "wal_io_errors",
     "wal_io_retries",
+    # Overload plane (PR 10): the offered-load sweep past saturation. The
+    # headline row is goodput_at_saturation = goodput(2x)/goodput(1x); the
+    # acceptance floor is 0.85 (plateau, not collapse).
+    "load_multiplier",
+    "goodput_txn_per_s",
+    "goodput_peak",
+    "goodput_2x",
+    "goodput_at_saturation",
+    "shed_fraction",
+    "shed",
+    "backpressured",
+    "retries",
+    "gave_up",
+    "deadline_expired",
+    "deadline_presubmit",
+    "p99_ms",
 )
 
 # Benchmark names encode the parallel-driver sweep as a "threads:N" segment
@@ -218,8 +234,10 @@ def main() -> int:
         # v2: threads axis + parallel_speedup table; v3: degraded_parallel
         # stamp + topology/channel-clock counters; v4: storage axis
         # (memory vs durable WAL) with group-commit/fsync counters; v5:
-        # chaos axis (chaos_robustness bench) with injected-fault counters.
-        "schema": "otpdb-bench-v5",
+        # chaos axis (chaos_robustness bench) with injected-fault counters;
+        # v6: overload axis (overload bench) with admission/backpressure/
+        # deadline/retry counters and the goodput plateau ratio.
+        "schema": "otpdb-bench-v6",
         "host": {
             "platform": platform.platform(),
             "machine": platform.machine(),
